@@ -1,0 +1,90 @@
+"""Design-space ablations: clear-up interval and worker scaling.
+
+The paper fixes AClearUpInterval=3600 from the TTL ECDF and notes the
+split/parallelism trade-off in its lessons learned. These benches sweep
+both choices:
+
+* clear-up interval — shorter intervals save memory but cost
+  correlation (more records expire before their flows arrive); the
+  deployed 3600 s sits at the knee;
+* LookUp worker count — the threaded engine's throughput on a fixed
+  batch, documenting where Python's GIL flattens the curve.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_rows
+
+from repro.analysis import run_variant
+from repro.core.config import FlowDNSConfig
+from repro.core.engine import ThreadedEngine
+from repro.core.variants import Variant
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.netflow.records import FlowRecord
+from repro.workloads.isp import large_isp
+
+_INTERVAL_RESULTS = {}
+
+
+@pytest.mark.parametrize("interval", [900.0, 1800.0, 3600.0, 7200.0])
+def test_ablation_clear_up_interval(benchmark, interval):
+    def run():
+        workload = large_isp(seed=37, duration=6 * 3600.0, n_benign=600)
+        config = FlowDNSConfig(
+            a_clear_up_interval=interval, c_clear_up_interval=2 * interval
+        )
+        return run_variant(workload, Variant.MAIN, base_config=config).report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    _INTERVAL_RESULTS[interval] = (
+        report.correlation_rate,
+        report.mean_memory_gb,
+    )
+    assert report.correlation_rate > 0.6
+    if len(_INTERVAL_RESULTS) == 4:
+        rows = [
+            f"A-interval={k:6.0f}s  correlation={v[0]:.4f}  mean memory={v[1]:5.1f} GiB"
+            for k, v in sorted(_INTERVAL_RESULTS.items())
+        ]
+        print_rows("Ablation: clear-up interval sweep", rows)
+        rates = [v[0] for _k, v in sorted(_INTERVAL_RESULTS.items())]
+        mems = [v[1] for _k, v in sorted(_INTERVAL_RESULTS.items())]
+        # Longer retention never hurts correlation; the extremes order on
+        # memory too (mid-points wobble with sampling phase vs rotation).
+        assert rates == sorted(rates)
+        assert mems[-1] > mems[0]
+        # The deployed 3600 captures nearly all of 7200's correlation.
+        assert rates[3] - rates[2] < 0.01
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_threaded_worker_scaling(benchmark, workers):
+    dns = [
+        DnsRecord(float(i), f"s{i % 300}.example", RRType.A, 300,
+                  f"10.{(i % 300) // 250}.{(i % 250) + 1}.9")
+        for i in range(1500)
+    ]
+    flows = [
+        FlowRecord(ts=float(i % 1000), src_ip=f"10.{(i % 300) // 250}.{(i % 250) + 1}.9",
+                   dst_ip="100.64.0.1", bytes_=100)
+        for i in range(8000)
+    ]
+
+    class Delayed:
+        def __iter__(self):
+            time.sleep(0.2)
+            return iter(flows)
+
+    def run():
+        config = FlowDNSConfig(
+            lookup_workers_per_stream=workers, fillup_workers_per_stream=1
+        )
+        engine = ThreadedEngine(config)
+        return engine.run([list(dns)], [Delayed()])
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.flow_records == len(flows)
+    assert report.matched_flows == len(flows)

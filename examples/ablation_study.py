@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Ablation study: re-run the paper's Section 4 benchmark variants.
+
+Removes FlowDNS's techniques one at a time (No Split / No Clear-Up /
+No Rotation / No Long Hashmaps, plus Appendix A.8's exact-TTL expiry)
+over identical replays of a simulated half-day and prints the
+correlation/CPU/memory comparison — the data behind Figures 3 and 7.
+
+Run with:  python examples/ablation_study.py  [--hours N]
+"""
+
+import argparse
+
+from repro.analysis import run_variant
+from repro.core.variants import FIGURE3_VARIANTS, Variant
+from repro.workloads.isp import large_isp
+
+PAPER_CORRELATION = {
+    Variant.MAIN: "81.7%",
+    Variant.NO_CLEAR_UP: "82.8%",
+    Variant.NO_LONG: "81.1%",
+    Variant.NO_ROTATION: "79.5%",
+    Variant.NO_SPLIT: "81.7%",
+    Variant.EXACT_TTL: "(loss >90%)",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=8.0,
+                        help="simulated hours per variant (default 8)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    duration = args.hours * 3600.0
+
+    print(f"{'variant':<14s} {'corr rate':>10s} {'paper':>12s} "
+          f"{'CPU %':>8s} {'mem GiB':>8s} {'loss':>8s}")
+    print("-" * 66)
+    # Sample finely enough that the exact-TTL loss feedback engages even
+    # on short demo horizons (loss is computed per sample interval).
+    sample_interval = min(3600.0, duration / 8.0)
+    for variant in list(FIGURE3_VARIANTS) + [Variant.EXACT_TTL]:
+        workload = large_isp(seed=args.seed, duration=duration)
+        report = run_variant(workload, variant, sample_interval=sample_interval).report
+        print(
+            f"{variant.value:<14s} {report.correlation_rate:>9.1%} "
+            f"{PAPER_CORRELATION[variant]:>12s} "
+            f"{report.mean_cpu_percent:>8.0f} {report.mean_memory_gb:>8.1f} "
+            f"{report.overall_loss_rate:>8.2%}"
+        )
+
+    print("\nReadings (paper Section 4):")
+    print("  * No Clear-Up correlates best but its memory grows without bound;")
+    print("  * No Rotation is cheapest on memory but loses ~2 points of correlation;")
+    print("  * No Long saves nothing and still costs correlation;")
+    print("  * No Split matches Main's correlation at lower CPU — the splits only")
+    print("    matter at contention levels beyond this deployment;")
+    print("  * exact-TTL expiry (Appendix A.8) melts down: the expiry scans starve")
+    print("    the ingest path and the streams drop most of their data.")
+
+
+if __name__ == "__main__":
+    main()

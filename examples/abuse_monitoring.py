@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Abuse monitoring: the paper's Section 5 use cases.
+
+Correlates a simulated day of traffic, joins the resolved domain names
+against a Spamhaus-DBL-style blocklist, checks RFC 1035 validity, and
+reports which abuse categories move how much traffic — including the
+bi-directional traffic to malformed domains on non-web ports.
+
+Run with:  python examples/abuse_monitoring.py  [--hours N]
+"""
+
+import argparse
+
+from repro.analysis import ResultRecorder, run_variant
+from repro.analysis.invalid_domains import analyze_invalid_domains
+from repro.analysis.spamdbl import DBL_CATEGORIES, DomainBlockList, analyze_abuse_traffic
+from repro.core.variants import Variant
+from repro.workloads.isp import large_isp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args()
+
+    workload = large_isp(seed=args.seed, duration=args.hours * 3600.0)
+    recorder = ResultRecorder()
+    run_variant(workload, Variant.MAIN, on_result=recorder)
+    results = recorder.results
+    print(f"correlated flows: {sum(1 for r in results if r.matched):,} "
+          f"of {len(results):,}")
+
+    # --- Spamhaus-DBL-style join (Figure 5) -------------------------------
+    dbl = DomainBlockList.from_categories(workload.universe.abuse.by_category)
+    service_bytes = {}
+    for result in results:
+        if result.matched:
+            service_bytes[result.service] = (
+                service_bytes.get(result.service, 0) + result.flow.bytes_
+            )
+    abuse = analyze_abuse_traffic(service_bytes, dbl)
+    print("\nDBL-listed traffic by category:")
+    for category in DBL_CATEGORIES:
+        domains = abuse.bytes_by_domain.get(category, {})
+        total = sum(domains.values())
+        print(f"  {category:<18s} {len(domains):4d} domains  {total / 1e9:8.2f} GB")
+        curve = abuse.cumulative_curve(category)
+        if curve:
+            k = next((i for i, frac in curve if frac >= 0.8), len(curve))
+            print(f"  {'':18s} top {k} domain(s) carry 80% of the category's bytes")
+    print(f"  abuse byte share overall: {abuse.abuse_byte_share():.2%} (paper: ~0.5% incl. malformed)")
+
+    # --- RFC 1035 validity (Section 5, invalid domain names) --------------
+    invalid = analyze_invalid_domains(results)
+    print("\nInvalid (RFC 1035-violating) domains:")
+    print(f"  violating names          : {invalid.invalid_names} "
+          f"({invalid.invalid_name_fraction:.1%} of names seen)")
+    print(f"  underscore as offender   : {invalid.underscore_share:.0%} (paper: 87%)")
+    print(f"  byte share               : {invalid.invalid_byte_share:.2%}")
+    print(f"  clients replying         : {invalid.replying_client_fraction:.1%} "
+          f"(paper: 2.7%)")
+    print(f"  domains replied to       : {invalid.replied_domain_fraction:.1%} "
+          f"(paper: 23.6%)")
+    print(f"  reply ports              : {dict(invalid.reply_ports)} "
+          f"(paper: OpenVPN, Kerberos)")
+
+
+if __name__ == "__main__":
+    main()

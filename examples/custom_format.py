@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Correlating your own data: the configurable-format adapter.
+
+The paper notes FlowDNS "is not bound to NetFlow data and can be adapted
+to use other data formats containing IP addresses and timestamps in a
+configuration file". This example exercises exactly that path: it writes
+a vendor-style flow CSV (nfdump-ish column names, millisecond epochs)
+and a dnstap-style JSON-lines DNS log, describes both with a mapping
+config, and correlates them offline — the same thing the
+``flowdns correlate`` CLI subcommand does.
+
+Run with:  python examples/custom_format.py
+"""
+
+import io
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.adapter import iter_csv, iter_jsonl, load_mapping
+from repro.core.config import FlowDNSConfig
+from repro.core.simulation import SimulationEngine
+from repro.core.writer import parse_result_line
+
+MAPPING = {
+    "dns": {
+        "ts": {"field": "query_time", "unit": "ms"},
+        "query": {"field": "qname"},
+        "rtype": {"field": "qtype"},
+        "ttl": {"field": "ttl"},
+        "answer": {"field": "rdata"},
+    },
+    "flow": {
+        "ts": {"field": "te", "unit": "ms"},  # nfdump 'time end'
+        "src_ip": {"field": "sa"},
+        "dst_ip": {"field": "da"},
+        "bytes": {"field": "ibyt", "default": 0},
+        "packets": {"field": "ipkt", "default": 1},
+        "src_port": {"field": "sp", "default": 0},
+        "dst_port": {"field": "dp", "default": 0},
+    },
+}
+
+DNS_LOG = [
+    {"query_time": 1_000, "qname": "shop.example.com", "qtype": "CNAME",
+     "ttl": 900, "rdata": "shop.edge.acme-cdn.net"},
+    {"query_time": 1_000, "qname": "shop.edge.acme-cdn.net", "qtype": "A",
+     "ttl": 120, "rdata": "203.0.113.50"},
+    {"query_time": 2_500, "qname": "mail.example.org", "qtype": "A",
+     "ttl": 300, "rdata": "203.0.113.80"},
+    # a record type FlowDNS ignores — counted, not an error:
+    {"query_time": 3_000, "qname": "example.com", "qtype": "TXT",
+     "ttl": 60, "rdata": "v=spf1 -all"},
+]
+
+FLOW_CSV_HEADER = "te,sa,da,ibyt,ipkt,sp,dp"
+FLOW_ROWS = [
+    "10000,203.0.113.50,100.64.7.1,250000,180,443,51000",
+    "11000,203.0.113.50,100.64.7.2,91000,70,443,51001",
+    "12000,203.0.113.80,100.64.7.3,4200,6,993,51002",
+    "13000,198.51.100.99,100.64.7.4,7700,9,443,51003",  # never resolved
+]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        dns_path = Path(tmp) / "resolver.jsonl"
+        dns_path.write_text("\n".join(json.dumps(r) for r in DNS_LOG))
+        flow_path = Path(tmp) / "flows.csv"
+        flow_path.write_text(FLOW_CSV_HEADER + "\n" + "\n".join(FLOW_ROWS))
+
+        dns_adapter, flow_adapter = load_mapping(MAPPING)
+        sink = io.StringIO()
+        engine = SimulationEngine(FlowDNSConfig(), sink=sink)
+        with open(dns_path) as dns_handle, open(flow_path) as flow_handle:
+            report = engine.run(
+                dns_adapter.adapt_many(iter_jsonl(dns_handle)),
+                flow_adapter.adapt_many(iter_csv(flow_handle)),
+            )
+
+        print("adapter statistics:")
+        print(f"  dns rows in={dns_adapter.stats.records_in} "
+              f"adapted={dns_adapter.stats.records_out} "
+              f"skipped-rtype={dns_adapter.stats.skipped_rtype}")
+        print(f"  flow rows in={flow_adapter.stats.records_in} "
+              f"adapted={flow_adapter.stats.records_out}")
+        print(f"\ncorrelation rate: {report.correlation_rate:.1%} "
+              f"({report.matched_flows}/{report.flow_records} flows)")
+        print("\noutput rows:")
+        for line in sink.getvalue().splitlines():
+            row = parse_result_line(line)
+            if row is None:
+                continue
+            service = row["service"] or "(uncorrelated)"
+            print(f"  {row['src_ip']:>15s} -> {row['dst_ip']:<12s} "
+                  f"{row['bytes']:>7d} B  {service}")
+
+
+if __name__ == "__main__":
+    main()

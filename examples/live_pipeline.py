@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The live pipeline: threaded FlowDNS over real wire-format streams.
+
+Everything here travels in wire format, exactly like an ISP deployment:
+DNS responses are RFC 1035 messages (with name compression), flows are
+NetFlow v9 export datagrams decoded by a stateful collector. The
+threaded engine runs receiver, FillUp, LookUp and Write workers over
+bounded stream buffers (the paper's loss points) and writes TSV output.
+
+Run with:  python examples/live_pipeline.py
+"""
+
+import io
+import time
+
+from repro import FlowDNSConfig, FlowExporter, ThreadedEngine
+from repro.core.writer import parse_result_line
+from repro.dns.wire import encode_message, DnsMessage, Question
+from repro.dns.rr import RRType, a_record, cname_record
+from repro.streams.stream import take
+from repro.workloads.isp import large_isp
+
+
+def dns_wire_stream(workload, limit=3000):
+    """(ts, wire-bytes) tuples, one message per resolution."""
+    out = []
+    for resolution in take(workload._resolutions(), limit):
+        if not resolution.visible:
+            continue
+        msg = DnsMessage()
+        msg.questions.append(Question(resolution.chain[0], resolution.rtype))
+        cname_ttl = resolution.cname_ttl
+        for owner, target in zip(resolution.chain, resolution.chain[1:]):
+            msg.answers.append(cname_record(owner, target, cname_ttl))
+        for ip in resolution.ips:
+            if resolution.rtype == RRType.A:
+                msg.answers.append(a_record(resolution.chain[-1], ip, resolution.a_ttl))
+        if not msg.answers:
+            continue
+        out.append((resolution.ts, encode_message(msg)))
+    return out
+
+
+def main() -> None:
+    workload = large_isp(seed=3, duration=1200.0, n_benign=300, warmup=600.0)
+
+    print("building wire-format streams ...")
+    dns_stream = dns_wire_stream(workload)
+    flows = take(workload.flow_records(), 20000)
+    v4_flows = [f for f in flows if f.src_ip.version == 4]
+    exporter = FlowExporter(version=9, batch_size=24)
+    datagrams = list(exporter.export(v4_flows))
+    print(f"  {len(dns_stream)} DNS messages, {len(datagrams)} NetFlow v9 datagrams "
+          f"({len(v4_flows)} flows)")
+
+    class DelayedDatagrams:
+        """Let the FillUp side settle before flows arrive (like warm-up)."""
+
+        def __iter__(self):
+            time.sleep(0.5)
+            return iter(datagrams)
+
+    sink = io.StringIO()
+    config = FlowDNSConfig(fillup_workers_per_stream=2, lookup_workers_per_stream=4)
+    engine = ThreadedEngine(config, sink=sink)
+
+    start = time.perf_counter()
+    report = engine.run([dns_stream], [DelayedDatagrams()])
+    elapsed = time.perf_counter() - start
+
+    print(f"\npipeline drained in {elapsed:.1f} s wall time")
+    print(f"  flows processed   : {report.flow_records:,} "
+          f"({report.flow_records / elapsed:,.0f} rec/s — the paper's Go system "
+          f"does ~1M rec/s on 128 cores)")
+    print(f"  correlation rate  : {report.correlation_rate:.1%}")
+    print(f"  stream loss       : {report.overall_loss_rate:.3%}")
+
+    rows = [parse_result_line(line) for line in sink.getvalue().splitlines()]
+    rows = [r for r in rows if r and r["service"]]
+    print("\nsample output rows:")
+    for row in rows[:5]:
+        print(f"  {row['ts']:10.1f}  {row['src_ip']:>15s} -> {row['dst_ip']:<15s} "
+              f"{row['bytes']:>8d} B  {row['service']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Network provisioning and planning: FlowDNS output ⋈ BGP (Figure 4).
+
+Correlates a simulated day at the large ISP, joins the per-flow results
+with a BGP RIB built from the CDN providers' announcements, and prints
+the per-source-AS volume for the two streaming services S1 and S2 —
+showing that S1 is served from one AS while S2 splits across two, the
+input an ISP needs for peering negotiations and failover planning.
+
+Run with:  python examples/network_planning.py  [--hours N]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.analysis import ResultRecorder, run_variant
+from repro.bgp import AsRegistry, Rib, correlate_with_bgp
+from repro.core.variants import Variant
+from repro.workloads.isp import large_isp
+
+SERVICES = ("s1-streaming.tv", "s2-streaming.tv")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=29)
+    args = parser.parse_args()
+
+    workload = large_isp(seed=args.seed, duration=args.hours * 3600.0)
+    recorder = ResultRecorder()
+    run_variant(workload, Variant.MAIN, on_result=recorder)
+
+    rib = Rib.from_entries(workload.hosting.rib_entries())
+    registry = AsRegistry()
+    series = correlate_with_bgp(recorder.results, rib, SERVICES, bucket_seconds=3600.0)
+
+    for service in SERVICES:
+        data = series[service]
+        totals = data.total_by_asn()
+        print(f"\n{service}: traffic by source AS")
+        for asn, nbytes in sorted(totals.items(), key=lambda kv: kv[1], reverse=True):
+            share = nbytes / sum(totals.values())
+            print(f"  AS{asn} ({registry.name_of(asn)}): "
+                  f"{nbytes / 1e9:8.2f} GB  ({share:.0%})")
+        dominant = data.dominant_asns(coverage=0.95)
+        print(f"  => 95% of {service} is served by {len(dominant)} AS(es): "
+              f"{', '.join('AS%d' % a for a in dominant)}")
+
+        # Hourly series (the diurnal curves of Figure 4).
+        hourly = defaultdict(int)
+        for (asn, hour), nbytes in data.buckets.items():
+            hourly[hour] += nbytes
+        bars = [hourly[h] for h in sorted(hourly)]
+        peak = max(bars) if bars else 1
+        print("  hourly volume: " + " ".join(
+            "▁▂▃▄▅▆▇█"[min(7, int(8 * v / peak))] for v in bars
+        ))
+
+    print("\nPlanning reading: knowing which ASes serve a service tells the ISP")
+    print("where a broken peering link would shift the load, and which content")
+    print("providers to approach about on-net caches instead of third-party CDNs.")
+
+
+if __name__ == "__main__":
+    main()

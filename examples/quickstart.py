@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: correlate a synthetic ISP's DNS and Netflow streams.
+
+Runs FlowDNS (the deterministic simulation engine) over one simulated
+hour of a small ISP-like workload and prints the headline numbers the
+paper reports: the byte correlation rate, the top correlated services,
+and the resource-model figures.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import FlowDNSConfig, SimulationEngine, large_isp
+from repro.analysis import ServiceBytesCollector, strip_warmup
+
+
+def main() -> None:
+    # One simulated hour at the (scaled-down) large European ISP.
+    workload = large_isp(seed=7, duration=3600.0, n_benign=500)
+
+    collector = ServiceBytesCollector()
+    engine = SimulationEngine(
+        FlowDNSConfig(),                  # Table 1 defaults: 3600/7200/10/6
+        cost_params=workload.cost_params,
+        sample_interval=600.0,
+        worker_count=workload.worker_count,
+        on_result=collector,
+    )
+    report = engine.run(workload.dns_records(), workload.flow_records())
+    report = strip_warmup(report, workload.t0)
+
+    print("FlowDNS quickstart — one simulated hour")
+    print(f"  DNS records processed : {report.dns_records:,}")
+    print(f"  Netflow records       : {report.flow_records:,}")
+    print(f"  correlation rate      : {report.correlation_rate:.1%}  (paper: 81.7%)")
+    print(f"  stream loss           : {report.overall_loss_rate:.4%} (paper: ~0.01%)")
+    print(f"  max write delay       : {report.max_write_delay:.1f} s  (paper: <=45 s)")
+    print(f"  modelled CPU          : {report.mean_cpu_percent:.0f} %")
+    print(f"  modelled memory       : {report.mean_memory_gb:.1f} GiB")
+
+    print("\nTop correlated services by volume:")
+    top = sorted(collector.bytes_by_service.items(), key=lambda kv: kv[1], reverse=True)
+    for name, nbytes in top[:8]:
+        print(f"  {name:<40s} {nbytes / 1e9:7.2f} GB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""AS metadata registry.
+
+A minimal stand-in for the AS-name databases operators join against.
+The synthetic topology gives each CDN and the ISP itself an AS entry so
+Figure 4's per-AS series carry readable labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class AsInfo:
+    """One autonomous system's metadata."""
+
+    asn: int
+    name: str
+    kind: str = "transit"  # "cdn" | "isp" | "transit" | "cloud"
+
+    def __post_init__(self):
+        if not 0 < self.asn < 2**32:
+            raise ValueError(f"invalid ASN {self.asn}")
+
+
+#: The reproduction's synthetic AS landscape (documentation ASNs).
+DEFAULT_AS_REGISTRY = (
+    AsInfo(64500, "EyeballNet (the ISP)", "isp"),
+    AsInfo(64501, "StreamCDN-One", "cdn"),
+    AsInfo(64511, "StreamCDN-Two-East", "cdn"),
+    AsInfo(64512, "StreamCDN-Two-West", "cdn"),
+    AsInfo(64600, "AcmeCDN", "cdn"),
+    AsInfo(64601, "Borealis CDN", "cdn"),
+    AsInfo(64602, "Cumulus CDN", "cdn"),
+    AsInfo(64700, "TransitCo", "transit"),
+)
+
+
+class AsRegistry:
+    """ASN → metadata lookups with graceful unknowns."""
+
+    def __init__(self, entries: Iterable[AsInfo] = DEFAULT_AS_REGISTRY):
+        self._by_asn: Dict[int, AsInfo] = {e.asn: e for e in entries}
+
+    def get(self, asn: int) -> Optional[AsInfo]:
+        return self._by_asn.get(asn)
+
+    def name_of(self, asn: int) -> str:
+        info = self._by_asn.get(asn)
+        return info.name if info is not None else f"AS{asn}"
+
+    def add(self, info: AsInfo) -> None:
+        self._by_asn[info.asn] = info
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)

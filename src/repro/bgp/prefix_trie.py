@@ -1,0 +1,135 @@
+"""Binary radix trie for longest-prefix matching.
+
+The BGP correlation of Section 5 ("the output from FlowDNS is then
+correlated with BGP data, e.g. source AS …") needs IP→origin-AS lookups
+at flow-record rate. A bitwise radix trie gives O(address length) exact
+longest-prefix-match for IPv4 and IPv6 alike, with no third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from repro.util.errors import ConfigError
+
+V = TypeVar("V")
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+class _Node(Generic[V]):
+    __slots__ = ("zero", "one", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.zero: Optional["_Node[V]"] = None
+        self.one: Optional["_Node[V]"] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Longest-prefix-match table over CIDR prefixes.
+
+    IPv4 and IPv6 live in separate sub-tries, so ``0.0.0.0/0`` and
+    ``::/0`` defaults can coexist.
+    """
+
+    def __init__(self) -> None:
+        self._roots = {4: _Node(), 6: _Node()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _bits(packed: bytes, length: int) -> Iterator[int]:
+        for i in range(length):
+            yield (packed[i // 8] >> (7 - (i % 8))) & 1
+
+    def insert(self, prefix, value: V) -> None:
+        """Insert or replace one prefix's value."""
+        net = ipaddress.ip_network(prefix) if not isinstance(
+            prefix, (ipaddress.IPv4Network, ipaddress.IPv6Network)
+        ) else prefix
+        node = self._roots[net.version]
+        for bit in self._bits(net.network_address.packed, net.prefixlen):
+            child = node.one if bit else node.zero
+            if child is None:
+                child = _Node()
+                if bit:
+                    node.one = child
+                else:
+                    node.zero = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address) -> Optional[V]:
+        """Longest-prefix match; None when no covering prefix exists."""
+        result = self.lookup_with_prefix(address)
+        return result[1] if result is not None else None
+
+    def lookup_with_prefix(self, address) -> Optional[Tuple[int, V]]:
+        """Return (matched prefix length, value) for the best match."""
+        addr = (
+            ipaddress.ip_address(address)
+            if not isinstance(address, (ipaddress.IPv4Address, ipaddress.IPv6Address))
+            else address
+        )
+        node = self._roots[addr.version]
+        best: Optional[Tuple[int, V]] = (0, node.value) if node.has_value else None
+        depth = 0
+        max_len = 32 if addr.version == 4 else 128
+        for bit in self._bits(addr.packed, max_len):
+            node = node.one if bit else node.zero
+            if node is None:
+                break
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        return best
+
+    def remove(self, prefix) -> bool:
+        """Remove a prefix; returns True when it was present.
+
+        Nodes are not physically pruned (removal is rare in RIB usage);
+        the value flag is cleared, which is sufficient for correctness.
+        """
+        net = ipaddress.ip_network(prefix) if not isinstance(
+            prefix, (ipaddress.IPv4Network, ipaddress.IPv6Network)
+        ) else prefix
+        node = self._roots[net.version]
+        for bit in self._bits(net.network_address.packed, net.prefixlen):
+            node = node.one if bit else node.zero
+            if node is None:
+                return False
+        if node.has_value:
+            node.has_value = False
+            node.value = None
+            self._size -= 1
+            return True
+        return False
+
+    def items(self) -> List[Tuple[str, V]]:
+        """All (prefix, value) pairs, for debugging and tests."""
+        out: List[Tuple[str, V]] = []
+        for version, root in self._roots.items():
+            total_bits = 32 if version == 4 else 128
+            addr_bytes = total_bits // 8
+            stack: List[Tuple[_Node, int, int]] = [(root, 0, 0)]
+            while stack:
+                node, value_bits, depth = stack.pop()
+                if node.has_value:
+                    packed = value_bits << (total_bits - depth)
+                    raw = packed.to_bytes(addr_bytes, "big")
+                    base = ipaddress.ip_address(raw)
+                    out.append((f"{base}/{depth}", node.value))
+                if node.zero is not None:
+                    stack.append((node.zero, value_bits << 1, depth + 1))
+                if node.one is not None:
+                    stack.append((node.one, (value_bits << 1) | 1, depth + 1))
+        return out

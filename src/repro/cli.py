@@ -1,0 +1,322 @@
+"""flowdns — command-line interface to the FlowDNS reproduction.
+
+Subcommands:
+
+* ``flowdns simulate`` — run a preset deployment (large/small ISP) for a
+  chosen simulated duration and print the headline report;
+* ``flowdns ablation`` — re-run the Section 4 benchmark variants;
+* ``flowdns correlate`` — offline correlation of *your own* DNS and flow
+  files (CSV or JSON-lines) via a field-mapping config, writing the
+  standard TSV output — the paper's "other data formats … in a
+  configuration file" feature;
+* ``flowdns analyze`` — post-process a FlowDNS output file: per-service
+  volume, RFC 1035 violations, correlation rate.
+
+Run ``flowdns <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+from repro.core.adapter import iter_csv, iter_jsonl, load_mapping_file
+from repro.core.config import FlowDNSConfig
+from repro.core.simulation import SimulationEngine
+from repro.core.variants import FIGURE3_VARIANTS, Variant, config_for
+from repro.core.writer import parse_result_line
+from repro.dns.validation import is_valid_domain
+from repro.util.units import format_bytes
+from repro.workloads.isp import large_isp, small_isp
+
+PRESETS = {"large": large_isp, "small": small_isp}
+
+
+def _add_simulate(subparsers) -> None:
+    p = subparsers.add_parser("simulate", help="run a preset deployment")
+    p.add_argument("--preset", choices=sorted(PRESETS), default="large")
+    p.add_argument("--hours", type=float, default=4.0, help="simulated hours")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--variant", choices=[v.value for v in Variant], default="main")
+    p.add_argument("--output", help="write correlation TSV to this file")
+    p.add_argument("--dashboard", action="store_true",
+                   help="render a sparkline dashboard of the run")
+    p.add_argument("--metrics", action="store_true",
+                   help="print Prometheus-style metrics for the run")
+    p.set_defaults(func=cmd_simulate)
+
+
+def cmd_simulate(args) -> int:
+    workload = PRESETS[args.preset](seed=args.seed, duration=args.hours * 3600.0)
+    variant = Variant(args.variant)
+    config = config_for(variant)
+    sink = open(args.output, "w", encoding="utf-8") if args.output else None
+    try:
+        engine = SimulationEngine(
+            config,
+            cost_params=workload.cost_params,
+            worker_count=workload.worker_count,
+            sink=sink,
+            variant_name=variant.value,
+        )
+        report = engine.run(workload.dns_records(), workload.flow_records())
+    finally:
+        if sink is not None:
+            sink.close()
+    print(f"preset={args.preset} variant={variant.value} "
+          f"simulated={args.hours:.1f}h seed={args.seed}")
+    print(f"  DNS records     : {report.dns_records:,}")
+    print(f"  flow records    : {report.flow_records:,}")
+    print(f"  correlation rate: {report.correlation_rate:.1%}")
+    print(f"  stream loss     : {report.overall_loss_rate:.3%}")
+    print(f"  modelled CPU    : {report.mean_cpu_percent:.0f} %")
+    print(f"  modelled memory : {report.mean_memory_gb:.1f} GiB")
+    if args.output:
+        print(f"  output written  : {args.output}")
+    if args.dashboard:
+        from repro.analysis.figures import render_report_summary
+
+        print()
+        print(render_report_summary(
+            report, title=f"{args.preset} ISP / {variant.value}"
+        ))
+    if args.metrics:
+        from repro.core.monitor import render_report
+
+        print()
+        print(render_report(report), end="")
+    return 0
+
+
+def _add_ablation(subparsers) -> None:
+    p = subparsers.add_parser("ablation", help="run the Section 4 variants")
+    p.add_argument("--preset", choices=sorted(PRESETS), default="large")
+    p.add_argument("--hours", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_ablation)
+
+
+def cmd_ablation(args) -> int:
+    print(f"{'variant':<14s} {'corr':>7s} {'CPU %':>8s} {'mem GiB':>8s} {'loss':>7s}")
+    for variant in FIGURE3_VARIANTS + (Variant.EXACT_TTL,):
+        workload = PRESETS[args.preset](seed=args.seed, duration=args.hours * 3600.0)
+        engine = SimulationEngine(
+            config_for(variant),
+            cost_params=workload.cost_params,
+            worker_count=workload.worker_count,
+            variant_name=variant.value,
+        )
+        report = engine.run(workload.dns_records(), workload.flow_records())
+        print(f"{variant.value:<14s} {report.correlation_rate:>6.1%} "
+              f"{report.mean_cpu_percent:>8.0f} {report.mean_memory_gb:>8.1f} "
+              f"{report.overall_loss_rate:>7.2%}")
+    return 0
+
+
+def _add_correlate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "correlate", help="correlate your own DNS + flow files offline"
+    )
+    p.add_argument("--dns", required=True, help="DNS records file (CSV or JSONL)")
+    p.add_argument("--flows", required=True, help="flow records file (CSV or JSONL)")
+    p.add_argument("--mapping", required=True, help="field-mapping JSON config")
+    p.add_argument("--output", default="-", help="output TSV ('-' = stdout)")
+    p.add_argument("--num-split", type=int, default=10)
+    p.set_defaults(func=cmd_correlate)
+
+
+def _open_rows(path):
+    handle = open(path, "r", encoding="utf-8")
+    if path.endswith((".jsonl", ".json", ".ndjson")):
+        return handle, iter_jsonl(handle)
+    return handle, iter_csv(handle)
+
+
+def cmd_correlate(args) -> int:
+    dns_adapter, flow_adapter = load_mapping_file(args.mapping)
+    if dns_adapter is None or flow_adapter is None:
+        print("mapping config must define both 'dns' and 'flow' sections",
+              file=sys.stderr)
+        return 2
+
+    dns_handle, dns_rows = _open_rows(args.dns)
+    flow_handle, flow_rows = _open_rows(args.flows)
+    sink = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    try:
+        engine = SimulationEngine(
+            FlowDNSConfig(num_split=args.num_split),
+            sink=sink,
+        )
+        report = engine.run(
+            dns_adapter.adapt_many(dns_rows),
+            flow_adapter.adapt_many(flow_rows),
+        )
+    finally:
+        dns_handle.close()
+        flow_handle.close()
+        if sink is not sys.stdout:
+            sink.close()
+    print(
+        f"correlated {report.matched_flows:,}/{report.flow_records:,} flows "
+        f"({report.correlation_rate:.1%} of bytes); "
+        f"dns malformed={dns_adapter.stats.malformed} "
+        f"skipped-rtype={dns_adapter.stats.skipped_rtype} "
+        f"flow malformed={flow_adapter.stats.malformed}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _add_analyze(subparsers) -> None:
+    p = subparsers.add_parser("analyze", help="analyze a FlowDNS output TSV")
+    p.add_argument("output_file")
+    p.add_argument("--top", type=int, default=10, help="top services to list")
+    p.set_defaults(func=cmd_analyze)
+
+
+def cmd_analyze(args) -> int:
+    bytes_by_service = defaultdict(int)
+    total_bytes = 0
+    correlated_bytes = 0
+    rows = 0
+    invalid = set()
+    with open(args.output_file, "r", encoding="utf-8") as handle:
+        for line in handle:
+            parsed = parse_result_line(line)
+            if parsed is None:
+                continue
+            rows += 1
+            total_bytes += parsed["bytes"]
+            if parsed["service"]:
+                correlated_bytes += parsed["bytes"]
+                bytes_by_service[parsed["service"]] += parsed["bytes"]
+                if not is_valid_domain(parsed["service"]):
+                    invalid.add(parsed["service"])
+    if rows == 0:
+        print("no data rows found", file=sys.stderr)
+        return 1
+    rate = correlated_bytes / total_bytes if total_bytes else 0.0
+    print(f"rows={rows:,}  volume={format_bytes(total_bytes)}  "
+          f"correlation rate={rate:.1%}")
+    print(f"distinct services={len(bytes_by_service):,}  "
+          f"RFC1035-violating={len(invalid)}")
+    print(f"\ntop {args.top} services:")
+    top = sorted(bytes_by_service.items(), key=lambda kv: kv[1], reverse=True)
+    for name, nbytes in top[: args.top]:
+        marker = "  [invalid]" if name in invalid else ""
+        print(f"  {name:<44s} {format_bytes(nbytes):>12s}{marker}")
+    return 0
+
+
+def _add_figures(subparsers) -> None:
+    p = subparsers.add_parser(
+        "figures", help="regenerate figure data files (TSV) from simulations"
+    )
+    p.add_argument("--out-dir", default="figures", help="output directory")
+    p.add_argument("--hours", type=float, default=6.0,
+                   help="simulated hours per run (Fig. 2 uses 4x this)")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_figures)
+
+
+def cmd_figures(args) -> int:
+    import pathlib
+
+    from repro.analysis.figures import (
+        figure2_rows,
+        figure3_rows,
+        figure7_rows,
+        write_tsv,
+    )
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def run(variant):
+        workload = large_isp(seed=args.seed, duration=args.hours * 3600.0)
+        engine = SimulationEngine(
+            config_for(variant),
+            cost_params=workload.cost_params,
+            worker_count=workload.worker_count,
+            variant_name=variant.value,
+        )
+        return engine.run(workload.dns_records(), workload.flow_records())
+
+    # Figure 2: a longer Main run.
+    workload = large_isp(seed=args.seed, duration=4 * args.hours * 3600.0,
+                         resolution_rate=0.5)
+    engine = SimulationEngine(config_for(Variant.MAIN),
+                              cost_params=workload.cost_params,
+                              worker_count=workload.worker_count)
+    fig2_report = engine.run(workload.dns_records(), workload.flow_records())
+    with open(out_dir / "fig2_week_usage.tsv", "w", encoding="utf-8") as sink:
+        write_tsv(sink, ("t_start", "cpu_percent", "memory_gb", "traffic_bytes"),
+                  figure2_rows(fig2_report))
+    print(f"wrote {out_dir / 'fig2_week_usage.tsv'}")
+
+    reports = {v.value: run(v) for v in FIGURE3_VARIANTS}
+    with open(out_dir / "fig3_variant_usage.tsv", "w", encoding="utf-8") as sink:
+        write_tsv(sink, ("variant", "t_start", "cpu_percent", "memory_gb"),
+                  figure3_rows(reports))
+    print(f"wrote {out_dir / 'fig3_variant_usage.tsv'}")
+    with open(out_dir / "fig7_variant_correlation.tsv", "w", encoding="utf-8") as sink:
+        write_tsv(sink, ("variant", "t_start", "correlation_rate"),
+                  figure7_rows(reports))
+    print(f"wrote {out_dir / 'fig7_variant_correlation.tsv'}")
+    return 0
+
+
+def _add_mapping_template(subparsers) -> None:
+    p = subparsers.add_parser(
+        "mapping-template", help="print a field-mapping config template"
+    )
+    p.set_defaults(func=cmd_mapping_template)
+
+
+def cmd_mapping_template(_args) -> int:
+    template = {
+        "dns": {
+            "ts": {"field": "timestamp", "unit": "s"},
+            "query": {"field": "qname"},
+            "rtype": {"field": "type"},
+            "ttl": {"field": "ttl"},
+            "answer": {"field": "rdata"},
+        },
+        "flow": {
+            "ts": {"field": "end_time", "unit": "ms"},
+            "src_ip": {"field": "src_addr"},
+            "dst_ip": {"field": "dst_addr"},
+            "bytes": {"field": "bytes", "default": 0},
+            "packets": {"field": "packets", "default": 1},
+            "src_port": {"field": "src_port", "default": 0},
+            "dst_port": {"field": "dst_port", "default": 0},
+            "protocol": {"field": "proto", "default": 6},
+        },
+    }
+    print(json.dumps(template, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flowdns", description="FlowDNS reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(subparsers)
+    _add_ablation(subparsers)
+    _add_correlate(subparsers)
+    _add_analyze(subparsers)
+    _add_figures(subparsers)
+    _add_mapping_template(subparsers)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

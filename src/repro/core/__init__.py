@@ -1,0 +1,79 @@
+"""FlowDNS core: the paper's primary contribution.
+
+The pipeline (Figure 1) is assembled from:
+
+* :class:`FlowDNSConfig` — Table 1 parameters and engine knobs;
+* :class:`DnsStorage` — the shared Active/Inactive/Long (or exact-TTL)
+  storage behind one facade;
+* :class:`FillUpProcessor` / :class:`LookUpProcessor` — the record-level
+  worker logic (Algorithms 1 and 2);
+* :class:`ThreadedEngine` — real threads, real buffers, Python-scale;
+* :class:`SimulationEngine` — deterministic replay with a calibrated
+  resource model, deployment-scale figures;
+* :class:`Variant` — the paper's ablation benchmarks.
+"""
+
+from repro.core.adapter import (
+    DnsAdapter,
+    FlowAdapter,
+    load_mapping,
+    load_mapping_file,
+)
+from repro.core.config import FlowDNSConfig
+from repro.core.engine import ThreadedEngine
+from repro.core.flowdns import FlowDNS
+from repro.core.monitor import render_engine, render_report
+from repro.core.fillup import FillUpProcessor, FillUpStats
+from repro.core.labeler import ip_label, last_octet_label, name_label
+from repro.core.lookup import CorrelationResult, LookUpProcessor, LookUpStats
+from repro.core.metrics import (
+    CostModel,
+    CostModelParams,
+    EngineReport,
+    IntervalCounters,
+    IntervalSample,
+)
+from repro.core.simulation import SimulationEngine
+from repro.core.storage_adapter import DnsStorage
+from repro.core.variants import FIGURE3_VARIANTS, FIGURE7_VARIANTS, Variant, config_for
+from repro.core.writer import (
+    DiscardSink,
+    WriteWorker,
+    format_result,
+    parse_result_line,
+)
+
+__all__ = [
+    "FlowDNS",
+    "FlowDNSConfig",
+    "ThreadedEngine",
+    "SimulationEngine",
+    "DnsStorage",
+    "FillUpProcessor",
+    "FillUpStats",
+    "LookUpProcessor",
+    "LookUpStats",
+    "CorrelationResult",
+    "CostModel",
+    "CostModelParams",
+    "EngineReport",
+    "IntervalCounters",
+    "IntervalSample",
+    "Variant",
+    "FIGURE3_VARIANTS",
+    "FIGURE7_VARIANTS",
+    "config_for",
+    "ip_label",
+    "name_label",
+    "last_octet_label",
+    "WriteWorker",
+    "DiscardSink",
+    "format_result",
+    "parse_result_line",
+    "DnsAdapter",
+    "FlowAdapter",
+    "load_mapping",
+    "load_mapping_file",
+    "render_report",
+    "render_engine",
+]

@@ -1,0 +1,88 @@
+"""FlowDNS configuration (the paper's Table 1, plus engine knobs).
+
+Defaults are the deployed values from the paper:
+
+* ``AClearUpInterval = 3600`` s — 99 % of A/AAAA TTLs are below this
+  (Appendix A.6);
+* ``CClearUpInterval = 7200`` s — 99 % of CNAME TTLs are below this;
+* ``NUM_SPLIT = 10`` — "We empirically find that 10 splits are suitable
+  for our scenario";
+* CNAME loop limit 6 — ">99 % of CNAME chains are shorter" (Appendix A.4).
+
+The ablation flags correspond one-to-one to the paper's benchmark
+variants; :mod:`repro.core.variants` sets them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.netflow.records import FlowDirection
+from repro.util.errors import ConfigError
+
+#: Paper values (Appendix A.6).
+DEFAULT_A_CLEAR_UP_INTERVAL = 3600.0
+DEFAULT_C_CLEAR_UP_INTERVAL = 7200.0
+#: Paper value (Section 3.2, step 5).
+DEFAULT_NUM_SPLIT = 10
+#: Paper value (Section 3.3, step 7 / Appendix A.4).
+DEFAULT_CNAME_LOOP_LIMIT = 6
+
+
+@dataclass
+class FlowDNSConfig:
+    """Complete configuration for a FlowDNS instance.
+
+    Engine knobs (worker counts, buffer capacities) default to values that
+    behave well at this reproduction's scaled-down rates; Table-1
+    parameters default to the paper's deployed constants.
+    """
+
+    # --- Table 1 parameters -------------------------------------------------
+    a_clear_up_interval: float = DEFAULT_A_CLEAR_UP_INTERVAL
+    c_clear_up_interval: float = DEFAULT_C_CLEAR_UP_INTERVAL
+    num_split: int = DEFAULT_NUM_SPLIT
+    cname_loop_limit: int = DEFAULT_CNAME_LOOP_LIMIT
+
+    # --- mechanism toggles (ablation variants) ------------------------------
+    split_enabled: bool = True
+    clear_up_enabled: bool = True
+    rotation_enabled: bool = True
+    long_enabled: bool = True
+    exact_ttl: bool = False
+    exact_ttl_sweep_interval: float = 60.0
+
+    # --- engine knobs --------------------------------------------------------
+    direction: FlowDirection = FlowDirection.SOURCE
+    fillup_workers_per_stream: int = 2
+    lookup_workers_per_stream: int = 2
+    write_workers: int = 1
+    stream_buffer_capacity: int = 65536
+    map_shard_count: int = 32
+    memoize_cname_chains: bool = True
+
+    def __post_init__(self):
+        if self.a_clear_up_interval <= 0 or self.c_clear_up_interval <= 0:
+            raise ConfigError("clear-up intervals must be positive")
+        if self.num_split <= 0:
+            raise ConfigError("num_split must be positive")
+        if self.cname_loop_limit < 1:
+            raise ConfigError("cname_loop_limit must be at least 1")
+        if self.fillup_workers_per_stream < 1 or self.lookup_workers_per_stream < 1:
+            raise ConfigError("worker counts must be at least 1")
+        if self.write_workers < 1:
+            raise ConfigError("write_workers must be at least 1")
+        if self.stream_buffer_capacity < 1:
+            raise ConfigError("stream_buffer_capacity must be at least 1")
+        if self.exact_ttl_sweep_interval <= 0:
+            raise ConfigError("exact_ttl_sweep_interval must be positive")
+
+    @property
+    def effective_num_split(self) -> int:
+        """1 when splitting is disabled (the *No Split* variant)."""
+        return self.num_split if self.split_enabled else 1
+
+    def replace(self, **changes) -> "FlowDNSConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)

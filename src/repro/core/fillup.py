@@ -1,0 +1,78 @@
+"""FillUp processing: DNS records into the shared storage (Section 3.2).
+
+The pure record-level logic lives in :class:`FillUpProcessor` so the
+threaded engine (which wraps it in worker threads) and the simulation
+engine (which calls it inline) share one implementation — any divergence
+between the two engines would make the ablation comparisons meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.stream import DnsRecord, records_from_message
+from repro.dns.wire import DnsMessage, decode_message
+from repro.util.errors import ParseError
+
+
+@dataclass
+class FillUpStats:
+    """Counters for the DNS side of the pipeline."""
+
+    raw_messages: int = 0
+    invalid: int = 0
+    records_in: int = 0
+    records_stored: int = 0
+    records_skipped: int = 0
+
+
+class FillUpProcessor:
+    """Validates and stores DNS records (Section 3.2 steps 2–6)."""
+
+    def __init__(self, storage: DnsStorage):
+        self.storage = storage
+        self.stats = FillUpStats()
+
+    def filter_message(self, ts: float, payload: Union[bytes, DnsMessage]) -> list:
+        """Step 2's validity filter: wire bytes/message → stream records.
+
+        Invalid payloads (unparseable, queries, error responses) yield an
+        empty list and are counted, never raised — a malformed response
+        must not take the FillUp path down.
+        """
+        self.stats.raw_messages += 1
+        if isinstance(payload, (bytes, bytearray)):
+            try:
+                message = decode_message(bytes(payload))
+            except ParseError:
+                self.stats.invalid += 1
+                return []
+        else:
+            message = payload
+        records = records_from_message(ts, message)
+        if not records:
+            self.stats.invalid += 1
+        return records
+
+    def process(self, record: DnsRecord) -> bool:
+        """Steps 4–6: label and store one record; True when stored.
+
+        Only A/AAAA and CNAME records reach the hashmaps; anything else is
+        skipped (the FillUp queue normally only carries the former).
+        """
+        self.stats.records_in += 1
+        if not (record.is_address or record.is_cname):
+            self.stats.records_skipped += 1
+            return False
+        self.storage.add_record(record)
+        self.stats.records_stored += 1
+        return True
+
+    def process_many(self, records: Iterable[DnsRecord]) -> int:
+        stored = 0
+        for record in records:
+            if self.process(record):
+                stored += 1
+        return stored

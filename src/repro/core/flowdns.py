@@ -1,0 +1,109 @@
+"""The FlowDNS facade: the one-object API for embedding the correlator.
+
+The engines (threaded, simulation) own scheduling and reporting; this
+facade owns nothing but the correlation state, for callers that already
+have their own event loop and just want the paper's core behaviour:
+
+    fd = FlowDNS()
+    fd.add_dns(DnsRecord(ts, query, RRType.A, ttl, answer))
+    result = fd.correlate(flow)          # CorrelationResult
+    fd.service_of("10.1.2.3", now=ts)    # or just ask for an IP
+
+Thread-safe to the same degree the underlying storage is: concurrent
+``add_dns``/``correlate`` calls from different threads are fine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TextIO
+
+from repro.core.config import FlowDNSConfig
+from repro.core.fillup import FillUpProcessor
+from repro.core.lookup import CorrelationResult, LookUpProcessor
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.stream import DnsRecord
+from repro.netflow.records import FlowRecord
+
+
+class FlowDNS:
+    """Stateful DNS↔Netflow correlator (Figure 1 without the plumbing)."""
+
+    def __init__(self, config: FlowDNSConfig = None):
+        self.config = config if config is not None else FlowDNSConfig()
+        self.storage = DnsStorage(self.config)
+        self._fillup = FillUpProcessor(self.storage)
+        self._lookup = LookUpProcessor(self.storage, self.config)
+
+    # --- DNS side -------------------------------------------------------------
+
+    def add_dns(self, record: DnsRecord) -> bool:
+        """Insert one DNS stream record; True when it was stored."""
+        return self._fillup.process(record)
+
+    def add_dns_many(self, records: Iterable[DnsRecord]) -> int:
+        return self._fillup.process_many(records)
+
+    def add_dns_message(self, ts: float, payload) -> int:
+        """Filter + insert a wire-format response (bytes or DnsMessage)."""
+        records = self._fillup.filter_message(ts, payload)
+        return self._fillup.process_many(records)
+
+    # --- flow side ------------------------------------------------------------
+
+    def correlate(self, flow: FlowRecord) -> CorrelationResult:
+        """Look one flow up; always returns a result (possibly NULL)."""
+        return self._lookup.process(flow)
+
+    def correlate_many(self, flows: Iterable[FlowRecord]) -> List[CorrelationResult]:
+        return [self._lookup.process(flow) for flow in flows]
+
+    def service_of(self, ip, now: float) -> Optional[str]:
+        """Resolve one bare IP to its service name (or None).
+
+        Uses the same deepLookUp + CNAME-chain walk as flow processing
+        but without touching the flow statistics.
+        """
+        probe = LookUpProcessor(self.storage, self.config)
+        chain = probe._resolve(str(ip), now)
+        return chain[-1] if chain else None
+
+    # --- maintenance / introspection -------------------------------------------
+
+    def tick(self, ts: float) -> None:
+        """Advance time-driven maintenance when no DNS records arrive.
+
+        Rotations normally run off record timestamps inside ``add_dns``;
+        a caller whose DNS stream can go quiet should tick with its own
+        clock so clear-ups still happen on schedule.
+        """
+        if self.config.exact_ttl:
+            self.storage.tick(ts)
+        else:
+            self.storage.ip_bank.maybe_clear_up(ts)
+            self.storage.cname_bank.maybe_clear_up(ts)
+
+    @property
+    def fillup_stats(self):
+        return self._fillup.stats
+
+    @property
+    def lookup_stats(self):
+        return self._lookup.stats
+
+    @property
+    def correlation_rate(self) -> float:
+        return self._lookup.stats.correlation_rate
+
+    def entry_counts(self):
+        return self.storage.entry_counts()
+
+    def save_state(self, sink: TextIO) -> int:
+        """Snapshot the DNS maps (see :mod:`repro.storage.snapshot`)."""
+        from repro.storage.snapshot import dump_storage
+
+        return dump_storage(self.storage, sink)
+
+    def load_state(self, source: TextIO) -> int:
+        from repro.storage.snapshot import load_storage
+
+        return load_storage(self.storage, source)

@@ -1,0 +1,141 @@
+"""LookUp processing: flows against the shared storage (Section 3.3).
+
+Implements Algorithm 2: ``deepLookUp`` the source IP in the IP-NAME maps,
+then follow the NAME-CNAME chain (bounded by the loop limit, 6 in the
+paper) towards the name the client originally asked for, memoising
+multi-hop chains back into the Active CNAME map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import FlowDNSConfig
+from repro.core.storage_adapter import DnsStorage
+from repro.netflow.records import FlowDirection, FlowRecord
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """The outcome of looking up one flow.
+
+    ``chain`` is the name sequence discovered (``[name, cname1, ...]``);
+    ``service`` is the final element — the paper's "result" — or ``None``
+    when the IP was not in the DNS maps.
+    """
+
+    flow: FlowRecord
+    chain: tuple
+    ts: float
+
+    @property
+    def matched(self) -> bool:
+        return bool(self.chain)
+
+    @property
+    def service(self) -> Optional[str]:
+        return self.chain[-1] if self.chain else None
+
+    @property
+    def dns_name(self) -> Optional[str]:
+        """The direct IP→NAME hit, before any CNAME unrolling."""
+        return self.chain[0] if self.chain else None
+
+
+@dataclass
+class LookUpStats:
+    """Counters for the Netflow side of the pipeline."""
+
+    flows_in: int = 0
+    invalid: int = 0
+    matched: int = 0
+    unmatched: int = 0
+    bytes_in: int = 0
+    bytes_matched: int = 0
+    cname_steps: int = 0
+    chains_memoized: int = 0
+    loop_limit_hits: int = 0
+    chain_lengths: dict = field(default_factory=dict)
+
+    @property
+    def correlation_rate(self) -> float:
+        """Correlated bytes over total bytes — the paper's headline metric."""
+        return self.bytes_matched / self.bytes_in if self.bytes_in else 0.0
+
+    @property
+    def match_rate(self) -> float:
+        """Correlated flow count over total flows (secondary metric)."""
+        total = self.matched + self.unmatched
+        return self.matched / total if total else 0.0
+
+    def note_chain(self, length: int) -> None:
+        self.chain_lengths[length] = self.chain_lengths.get(length, 0) + 1
+
+
+class LookUpProcessor:
+    """Correlates flow records against the DNS storage (Algorithm 2)."""
+
+    def __init__(self, storage: DnsStorage, config: FlowDNSConfig):
+        self.storage = storage
+        self.config = config
+        self.stats = LookUpStats()
+
+    def is_valid(self, flow: FlowRecord) -> bool:
+        """Step 2's flow filter: discard flows without usable counters."""
+        return flow.bytes_ >= 0 and flow.packets >= 0
+
+    def process(self, flow: FlowRecord) -> CorrelationResult:
+        """Steps 4–7 for one flow record."""
+        self.stats.flows_in += 1
+        self.stats.bytes_in += flow.bytes_
+        if not self.is_valid(flow):
+            self.stats.invalid += 1
+            return CorrelationResult(flow, (), flow.ts)
+
+        direction = self.config.direction
+        if direction == FlowDirection.BOTH:
+            # Try the source first (the paper's primary interest), fall
+            # back to the destination.
+            chain = self._resolve(str(flow.src_ip), flow.ts)
+            if not chain:
+                chain = self._resolve(str(flow.dst_ip), flow.ts)
+        else:
+            chain = self._resolve(str(flow.lookup_ip(direction)), flow.ts)
+
+        if chain:
+            self.stats.matched += 1
+            self.stats.bytes_matched += flow.bytes_
+            self.stats.note_chain(len(chain))
+        else:
+            self.stats.unmatched += 1
+        return CorrelationResult(flow, tuple(chain), flow.ts)
+
+    def _resolve(self, ip_text: str, now: float) -> List[str]:
+        """IP → [name, cname...] per Algorithm 2; [] when nothing found."""
+        name = self.storage.lookup_ip(ip_text, now)
+        if name is None:
+            return []
+        chain = [name]
+        seen = {name}
+        loop_count = 0
+        current = name
+        while loop_count < self.config.cname_loop_limit:
+            cname = self.storage.lookup_cname(current, now)
+            self.stats.cname_steps += 1
+            if cname is None:
+                break
+            if cname in seen:
+                break  # defensive: a CNAME cycle in poisoned data
+            chain.append(cname)
+            seen.add(cname)
+            current = cname
+            loop_count += 1
+        else:
+            self.stats.loop_limit_hits += 1
+        if len(chain) > 2 and self.config.memoize_cname_chains:
+            # Step 7: "If the result is found with more than one look-up in
+            # NAME-CNAME maps, we add it to NAME-CNAME_active for later use."
+            self.storage.memoize_chain(chain[0], chain[-1])
+            self.stats.chains_memoized += 1
+        return chain

@@ -1,0 +1,118 @@
+"""Operational metrics exposition.
+
+Renders engine/storage state in the Prometheus text exposition format
+so an operator can scrape a running FlowDNS (the paper's Figure 2
+series are exactly these gauges over a week). No HTTP server is bundled
+— the renderer produces the text; wiring it to a socket is deployment
+glue this library stays out of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import ThreadedEngine
+from repro.core.metrics import EngineReport
+
+_PREFIX = "flowdns"
+
+
+class MetricsRenderer:
+    """Accumulates metric samples and renders the exposition text."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._seen_headers = set()
+
+    def gauge(self, name: str, value: float, help_text: str = "", labels: Dict[str, str] = None) -> None:
+        full = f"{_PREFIX}_{name}"
+        if full not in self._seen_headers:
+            if help_text:
+                self._lines.append(f"# HELP {full} {help_text}")
+            self._lines.append(f"# TYPE {full} gauge")
+            self._seen_headers.add(full)
+        label_text = ""
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            label_text = "{" + inner + "}"
+        self._lines.append(f"{full}{label_text} {value}")
+
+    def counter(self, name: str, value: float, help_text: str = "", labels: Dict[str, str] = None) -> None:
+        full = f"{_PREFIX}_{name}_total"
+        if full not in self._seen_headers:
+            if help_text:
+                self._lines.append(f"# HELP {full} {help_text}")
+            self._lines.append(f"# TYPE {full} counter")
+            self._seen_headers.add(full)
+        label_text = ""
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            label_text = "{" + inner + "}"
+        self._lines.append(f"{full}{label_text} {value}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_report(report: EngineReport) -> str:
+    """Expose an EngineReport's aggregates."""
+    out = MetricsRenderer()
+    out.counter("dns_records", report.dns_records, "DNS stream records processed")
+    out.counter("flow_records", report.flow_records, "Netflow records processed")
+    out.counter("matched_flows", report.matched_flows, "flows correlated to a service")
+    out.counter("correlated_bytes", report.correlated_bytes, "bytes attributed to a service")
+    out.counter("total_bytes", report.total_bytes, "bytes observed")
+    out.gauge("correlation_rate", report.correlation_rate,
+              "correlated bytes / total bytes")
+    out.gauge("stream_loss_rate", report.overall_loss_rate,
+              "fraction of offered records dropped at ingress buffers")
+    out.gauge("write_delay_seconds_max", report.max_write_delay,
+              "max delay between flow timestamp and output write")
+    out.gauge("map_entries", report.final_map_entries, "live hashmap entries")
+    for length, count in sorted(report.chain_lengths.items()):
+        out.counter("chains", count, "lookup chains by length",
+                    labels={"length": str(length)})
+    return out.render()
+
+
+def render_engine(engine: ThreadedEngine) -> str:
+    """Expose a (possibly running) threaded engine's live state."""
+    out = MetricsRenderer()
+    counts = engine.storage.entry_counts()
+    for bank, tiers in counts.items():
+        for tier, entries in tiers.items():
+            out.gauge("storage_entries", entries, "entries per bank/tier",
+                      labels={"bank": bank, "tier": tier})
+    out.counter("storage_overwrites", engine.storage.overwrites(),
+                "IP-key overwrites (accuracy-relevant)")
+    out.counter("storage_lock_contention", engine.storage.contended_acquisitions(),
+                "contended shard-lock acquisitions")
+    for stream in engine.dns_streams + engine.flow_streams:
+        labels = {"stream": stream.name}
+        out.counter("stream_offered", stream.buffer.stats.offered,
+                    "records offered to the ingress buffer", labels=labels)
+        out.counter("stream_dropped", stream.buffer.stats.dropped,
+                    "records dropped at the ingress buffer", labels=labels)
+        out.gauge("stream_buffer_fill", stream.buffer.fill_fraction,
+                  "ingress buffer occupancy fraction", labels=labels)
+    out.gauge("write_rows", engine.writer.stats.rows, "output rows written")
+    return out.render()
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse exposition text back into {metric{labels}: value}.
+
+    Only used by tests and the examples; real deployments scrape with
+    Prometheus itself.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out

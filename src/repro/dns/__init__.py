@@ -1,0 +1,80 @@
+"""DNS substrate: names, resource records, wire format, validation, TTLs.
+
+FlowDNS consumes DNS *responses* (cache misses forwarded by ISP resolvers).
+This subpackage implements everything the correlator and the workload
+generators need from the DNS side:
+
+* :mod:`repro.dns.name` — RFC 1035 domain-name encoding/decoding;
+* :mod:`repro.dns.validation` — the three RFC 1035 validity rules the
+  paper's Section 5 checks (length 255, label 63, LDH characters);
+* :mod:`repro.dns.rr` — typed resource records (A/AAAA/CNAME/...);
+* :mod:`repro.dns.wire` — full message codec with name compression;
+* :mod:`repro.dns.stream` — the lightweight ``DnsRecord`` tuples that flow
+  through FlowDNS queues;
+* :mod:`repro.dns.ttl` — TTL bucketing/analysis used for Figure 8.
+"""
+
+from repro.dns.name import (
+    decode_name,
+    encode_name,
+    labels_of,
+    normalize_name,
+)
+from repro.dns.rr import (
+    RRType,
+    RClass,
+    ResourceRecord,
+    a_record,
+    aaaa_record,
+    cname_record,
+)
+from repro.dns.stream import DnsRecord, is_address_type
+from repro.dns.validation import (
+    DomainViolation,
+    ViolationKind,
+    check_domain,
+    is_valid_domain,
+)
+from repro.dns.wire import (
+    DnsMessage,
+    Header,
+    Opcode,
+    Question,
+    Rcode,
+    decode_message,
+    encode_message,
+)
+from repro.dns.tcp import TcpFrameDecoder, frame_message, frame_messages, iter_framed
+from repro.dns.ttl import TtlSummary, summarize_ttls
+
+__all__ = [
+    "encode_name",
+    "decode_name",
+    "labels_of",
+    "normalize_name",
+    "RRType",
+    "RClass",
+    "ResourceRecord",
+    "a_record",
+    "aaaa_record",
+    "cname_record",
+    "DnsRecord",
+    "is_address_type",
+    "DomainViolation",
+    "ViolationKind",
+    "check_domain",
+    "is_valid_domain",
+    "DnsMessage",
+    "Header",
+    "Question",
+    "Opcode",
+    "Rcode",
+    "encode_message",
+    "decode_message",
+    "TtlSummary",
+    "summarize_ttls",
+    "TcpFrameDecoder",
+    "frame_message",
+    "frame_messages",
+    "iter_framed",
+]

@@ -1,0 +1,138 @@
+"""RFC 1035 domain-name encoding and decoding.
+
+Names on the wire are sequences of length-prefixed labels terminated by a
+zero-length root label, optionally ending in a compression pointer
+(RFC 1035 §4.1.4). The decoder follows pointers with a strict visited-set so
+malicious or corrupt messages with pointer loops raise :class:`ParseError`
+instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.util.errors import ParseError
+
+MAX_NAME_WIRE_LENGTH = 255
+MAX_LABEL_LENGTH = 63
+_POINTER_MASK = 0xC0
+
+
+def normalize_name(name: str) -> str:
+    """Canonical form: lowercase, no trailing dot (root stays ``.``)."""
+    name = name.strip()
+    if name in ("", "."):
+        return "."
+    return name.rstrip(".").lower()
+
+
+def labels_of(name: str) -> List[str]:
+    """Split a presentation-format name into its labels (root → [])."""
+    norm = normalize_name(name)
+    if norm == ".":
+        return []
+    return norm.split(".")
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a presentation-format name to uncompressed wire format.
+
+    Raises :class:`ParseError` if any label exceeds 63 bytes or the encoded
+    name exceeds 255 bytes, per RFC 1035 §2.3.4. Note that *syntactic*
+    character rules (LDH) are deliberately not enforced here: FlowDNS must
+    transport malformed names (Section 5 measures their traffic), so the
+    codec only enforces structural limits the wire format itself imposes.
+    """
+    out = bytearray()
+    for label in labels_of(name):
+        raw = label.encode("utf-8", errors="surrogateescape")
+        if len(raw) == 0:
+            raise ParseError(f"empty label in name {name!r}")
+        if len(raw) > MAX_LABEL_LENGTH:
+            raise ParseError(f"label exceeds 63 bytes in name {name!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    if len(out) > MAX_NAME_WIRE_LENGTH:
+        raise ParseError(f"encoded name exceeds 255 bytes: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name starting at ``offset``.
+
+    Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
+    past the name *in the original stream* (i.e. past the pointer if the
+    name was compressed).
+    """
+    labels: List[str] = []
+    pos = offset
+    next_offset = -1
+    visited = set()
+    wire_budget = 0
+    while True:
+        if pos >= len(data):
+            raise ParseError("truncated name")
+        length = data[pos]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if pos + 1 >= len(data):
+                raise ParseError("truncated compression pointer")
+            target = ((length & 0x3F) << 8) | data[pos + 1]
+            if next_offset < 0:
+                next_offset = pos + 2
+            if target in visited:
+                raise ParseError("compression pointer loop")
+            if target >= pos:
+                raise ParseError("forward compression pointer")
+            visited.add(target)
+            pos = target
+            continue
+        if length & _POINTER_MASK:
+            raise ParseError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
+        if length == 0:
+            if next_offset < 0:
+                next_offset = pos + 1
+            break
+        if pos + 1 + length > len(data):
+            raise ParseError("truncated label")
+        wire_budget += 1 + length
+        if wire_budget + 1 > MAX_NAME_WIRE_LENGTH:
+            raise ParseError("decoded name exceeds 255 bytes")
+        labels.append(
+            data[pos + 1 : pos + 1 + length].decode("utf-8", errors="surrogateescape")
+        )
+        pos += 1 + length
+    name = ".".join(labels) if labels else "."
+    return normalize_name(name), next_offset
+
+
+class NameCompressor:
+    """Tracks previously written names to emit RFC 1035 compression pointers.
+
+    Pointers can only target offsets < 0x4000; beyond that the name is
+    written uncompressed (the same rule real encoders follow).
+    """
+
+    def __init__(self) -> None:
+        self._offsets = {}
+
+    def encode(self, name: str, current_offset: int) -> bytes:
+        out = bytearray()
+        labels = labels_of(name)
+        for i in range(len(labels)):
+            suffix = ".".join(labels[i:])
+            known = self._offsets.get(suffix)
+            if known is not None and known < 0x4000:
+                out.append(_POINTER_MASK | (known >> 8))
+                out.append(known & 0xFF)
+                return bytes(out)
+            offset_here = current_offset + len(out)
+            if offset_here < 0x4000:
+                self._offsets[suffix] = offset_here
+            raw = labels[i].encode("utf-8", errors="surrogateescape")
+            if not 1 <= len(raw) <= MAX_LABEL_LENGTH:
+                raise ParseError(f"bad label length in {name!r}")
+            out.append(len(raw))
+            out.extend(raw)
+        out.append(0)
+        return bytes(out)

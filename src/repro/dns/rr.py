@@ -1,0 +1,131 @@
+"""Typed DNS resource records.
+
+FlowDNS only *uses* A, AAAA and CNAME records, but the wire codec must be
+able to carry the other common types found in real resolver traffic (NS,
+MX, TXT, SOA, PTR, SRV) because the FillUp filter's job is precisely to
+discard them (Section 3.2 step 2 "go through a filter").
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Union
+
+from repro.dns.name import decode_name, normalize_name
+from repro.util.errors import ParseError
+
+
+class RRType(IntEnum):
+    """DNS RR TYPE values (RFC 1035 §3.2.2 and successors)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41
+    ANY = 255
+
+
+class RClass(IntEnum):
+    """DNS CLASS values; IN is the only one seen in practice."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    ANY = 255
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One decoded resource record.
+
+    ``rdata`` is typed per RR type: an :mod:`ipaddress` address for A/AAAA,
+    a normalized domain-name string for CNAME/NS/PTR, raw ``bytes`` for
+    anything else. TTL is seconds remaining as reported by the resolver.
+    """
+
+    name: str
+    rtype: RRType
+    rclass: RClass
+    ttl: int
+    rdata: Union[str, bytes, ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+    def __post_init__(self):
+        if self.ttl < 0:
+            raise ParseError(f"negative TTL on {self.name!r}")
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.rtype == RRType.A and not isinstance(self.rdata, ipaddress.IPv4Address):
+            object.__setattr__(self, "rdata", ipaddress.IPv4Address(self.rdata))
+        elif self.rtype == RRType.AAAA and not isinstance(self.rdata, ipaddress.IPv6Address):
+            object.__setattr__(self, "rdata", ipaddress.IPv6Address(self.rdata))
+        elif self.rtype in _NAME_RDATA_TYPES and isinstance(self.rdata, str):
+            object.__setattr__(self, "rdata", normalize_name(self.rdata))
+
+    @property
+    def is_address(self) -> bool:
+        return self.rtype in (RRType.A, RRType.AAAA)
+
+    @property
+    def is_cname(self) -> bool:
+        return self.rtype == RRType.CNAME
+
+    def rdata_text(self) -> str:
+        """Presentation form of the rdata (for output files / reports)."""
+        if isinstance(self.rdata, bytes):
+            return self.rdata.hex()
+        return str(self.rdata)
+
+
+_NAME_RDATA_TYPES = {RRType.CNAME, RRType.NS, RRType.PTR}
+
+
+def a_record(name: str, address: str, ttl: int) -> ResourceRecord:
+    """Convenience constructor for an IN A record."""
+    return ResourceRecord(name, RRType.A, RClass.IN, ttl, ipaddress.IPv4Address(address))
+
+
+def aaaa_record(name: str, address: str, ttl: int) -> ResourceRecord:
+    """Convenience constructor for an IN AAAA record."""
+    return ResourceRecord(name, RRType.AAAA, RClass.IN, ttl, ipaddress.IPv6Address(address))
+
+
+def cname_record(name: str, target: str, ttl: int) -> ResourceRecord:
+    """Convenience constructor for an IN CNAME record."""
+    return ResourceRecord(name, RRType.CNAME, RClass.IN, ttl, normalize_name(target))
+
+
+def decode_rdata(rtype: RRType, data: bytes, offset: int, rdlength: int):
+    """Decode the RDATA section of one record from a full message buffer.
+
+    Needs the whole message (not just the RDATA slice) because name-typed
+    RDATA may contain compression pointers into earlier parts.
+    """
+    end = offset + rdlength
+    if end > len(data):
+        raise ParseError("RDATA overruns message")
+    if rtype == RRType.A:
+        if rdlength != 4:
+            raise ParseError(f"A record rdlength {rdlength} != 4")
+        return ipaddress.IPv4Address(data[offset:end])
+    if rtype == RRType.AAAA:
+        if rdlength != 16:
+            raise ParseError(f"AAAA record rdlength {rdlength} != 16")
+        return ipaddress.IPv6Address(data[offset:end])
+    if rtype in _NAME_RDATA_TYPES:
+        name, _ = decode_name(data, offset)
+        return name
+    if rtype == RRType.MX:
+        if rdlength < 3:
+            raise ParseError("MX record too short")
+        pref = struct.unpack_from("!H", data, offset)[0]
+        exchange, _ = decode_name(data, offset + 2)
+        return (pref, exchange)
+    return bytes(data[offset:end])

@@ -1,0 +1,87 @@
+"""DNS-over-TCP stream framing (RFC 1035 §4.2.2).
+
+The paper's collection path: "This data is sent from the ISP resolvers
+to our collectors via TCP." On TCP, each DNS message is preceded by a
+two-byte big-endian length. :class:`TcpFrameDecoder` incrementally
+reassembles messages from arbitrary chunk boundaries — the collector
+cannot assume one read() per message — and tolerates mid-stream
+truncation by surfacing whatever is complete.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List
+
+from repro.util.errors import ParseError
+
+_LEN = struct.Struct("!H")
+
+#: Hard ceiling on one framed message; a length prefix beyond this is
+#: treated as stream corruption (real DNS/TCP messages max at 64 KiB by
+#: construction, but a desynchronised stream can claim anything).
+MAX_MESSAGE_SIZE = 65535
+
+
+def frame_message(payload: bytes) -> bytes:
+    """Prefix one wire-format message with its 16-bit length."""
+    if len(payload) > MAX_MESSAGE_SIZE:
+        raise ParseError(f"DNS message too large for TCP framing: {len(payload)}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def frame_messages(payloads: Iterable[bytes]) -> bytes:
+    """Concatenate several framed messages into one TCP byte stream."""
+    return b"".join(frame_message(p) for p in payloads)
+
+
+class TcpFrameDecoder:
+    """Incremental decoder: feed chunks, collect complete messages.
+
+    The decoder never raises on partial input — a short read simply
+    waits for more bytes. A zero-length frame is legal per the RFC
+    (and dropped, since an empty DNS message cannot parse anyway).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.messages_out = 0
+        self.bytes_in = 0
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Add a chunk; return every message completed by it."""
+        self._buffer.extend(chunk)
+        self.bytes_in += len(chunk)
+        out: List[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buffer, 0)
+            if len(self._buffer) < _LEN.size + length:
+                break
+            payload = bytes(self._buffer[_LEN.size : _LEN.size + length])
+            del self._buffer[: _LEN.size + length]
+            if payload:
+                out.append(payload)
+                self.messages_out += 1
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Signal EOF; leftover bytes indicate a truncated final frame."""
+        if self._buffer:
+            raise ParseError(
+                f"TCP stream ended mid-frame with {len(self._buffer)} bytes pending"
+            )
+
+
+def iter_framed(stream: Iterable[bytes]) -> Iterator[bytes]:
+    """Decode a chunk iterable into messages; raises on truncated tail."""
+    decoder = TcpFrameDecoder()
+    for chunk in stream:
+        yield from decoder.feed(chunk)
+    decoder.close()

@@ -1,0 +1,71 @@
+"""Version-sniffing flow collector.
+
+An ISP collector receives datagrams from many exporters speaking different
+NetFlow dialects. :class:`FlowCollector` sniffs the 16-bit version field and
+dispatches to the right codec, maintaining per-protocol session state
+(templates) and drop counters for undecodable datagrams — a collector must
+never let one malformed export kill the pipeline feeding FlowDNS.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netflow.ipfix import IpfixSession
+from repro.netflow.records import FlowRecord
+from repro.netflow.v5 import decode_v5
+from repro.netflow.v9 import V9Session
+from repro.util.errors import ParseError
+
+
+@dataclass
+class CollectorStats:
+    """Counters for observability of the collector itself."""
+
+    datagrams: int = 0
+    flows: int = 0
+    malformed: int = 0
+    unknown_version: int = 0
+    by_version: dict = field(default_factory=dict)
+
+    def note(self, version: int, flow_count: int) -> None:
+        self.datagrams += 1
+        self.flows += flow_count
+        self.by_version[version] = self.by_version.get(version, 0) + 1
+
+
+class FlowCollector:
+    """Decode NetFlow v5 / v9 / IPFIX datagrams into flow records."""
+
+    def __init__(self) -> None:
+        self._v9 = V9Session()
+        self._ipfix = IpfixSession()
+        self.stats = CollectorStats()
+
+    def ingest(self, datagram: bytes) -> List[FlowRecord]:
+        """Decode one datagram; malformed input is counted, not raised.
+
+        Returns the decoded flows (possibly empty, e.g. for a pure
+        template datagram).
+        """
+        if len(datagram) < 2:
+            self.stats.malformed += 1
+            return []
+        (version,) = struct.unpack_from("!H", datagram, 0)
+        try:
+            if version == 5:
+                _, flows = decode_v5(datagram)
+            elif version == 9:
+                flows = self._v9.decode(datagram)
+            elif version == 10:
+                flows = self._ipfix.decode(datagram)
+            else:
+                self.stats.unknown_version += 1
+                return []
+        except ParseError:
+            self.stats.malformed += 1
+            return []
+        self.stats.note(version, len(flows))
+        return flows

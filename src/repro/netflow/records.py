@@ -1,0 +1,77 @@
+"""The common flow record consumed by FlowDNS.
+
+All three supported export formats (Netflow v5, Netflow v9, IPFIX) decode
+into :class:`FlowRecord`. Only the fields FlowDNS uses are first-class;
+everything else a template might carry is preserved in ``extra``.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+class FlowDirection(Enum):
+    """Which endpoint FlowDNS should look up in the DNS map.
+
+    The paper analyses traffic *sources* ("we are interested in analyzing
+    the source of the traffic, hence we use the source IP address") but
+    notes the destination or both can be used with minor modifications.
+    """
+
+    SOURCE = "source"
+    DESTINATION = "destination"
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One unidirectional flow observation.
+
+    ``ts`` is the flow end timestamp in UNIX seconds (what the correlator
+    compares against DNS record timestamps), ``packets``/``bytes_`` are the
+    flow's volume counters.
+    """
+
+    ts: float
+    src_ip: IPAddress
+    dst_ip: IPAddress
+    src_port: int = 0
+    dst_port: int = 0
+    protocol: int = 6
+    packets: int = 1
+    bytes_: int = 0
+    extra: Dict[str, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if not isinstance(self.src_ip, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+            object.__setattr__(self, "src_ip", ipaddress.ip_address(self.src_ip))
+        if not isinstance(self.dst_ip, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+            object.__setattr__(self, "dst_ip", ipaddress.ip_address(self.dst_ip))
+        if self.packets < 0 or self.bytes_ < 0:
+            raise ValueError("flow counters must be non-negative")
+        if not (0 <= self.src_port <= 65535 and 0 <= self.dst_port <= 65535):
+            raise ValueError("ports must fit in 16 bits")
+
+    def lookup_ip(self, direction: FlowDirection = FlowDirection.SOURCE) -> IPAddress:
+        """The address FlowDNS keys its hashmap lookup on."""
+        if direction == FlowDirection.SOURCE:
+            return self.src_ip
+        if direction == FlowDirection.DESTINATION:
+            return self.dst_ip
+        raise ValueError("FlowDirection.BOTH requires two separate lookups")
+
+    @property
+    def is_dns_port(self) -> bool:
+        """True for traffic to/from port 53 (DNS) or 853 (DoT).
+
+        Used by the Section 4 coverage analysis, which filters a flow
+        sample down to resolver traffic before testing destination IPs
+        against the public-resolver list.
+        """
+        dns_ports = (53, 853)
+        return self.dst_port in dns_ports or self.src_port in dns_ports

@@ -1,0 +1,223 @@
+"""The Active / Inactive / Long rotating store (Section 3.1, Table 1).
+
+FlowDNS cannot expire DNS records by exact TTL (Appendix A.8 shows that
+collapses under contention) and cannot keep them forever (memory). Its
+answer is a three-tier store:
+
+* **Active** — where new records with TTL below the clear-up interval go;
+* **Inactive** — a copy of the previous Active generation, made at each
+  clear-up ("buffer rotation"), so lookups shortly after a clear-up still
+  hit recently-seen records;
+* **Long** — records whose TTL is at least the clear-up interval; never
+  cleared (or cleared much less frequently).
+
+Lookups walk Active → Inactive → Long (Algorithm 2's ``deepLookUp``).
+
+One :class:`StoreBank` implements the triple for one record family
+(IP-NAME or NAME-CNAME) across ``num_splits`` label splits. Ablation flags
+(``rotation_enabled``, ``clear_up_enabled``, ``long_enabled``) turn the
+bank into the paper's *No Rotation* / *No Clear-Up* / *No Long Hashmaps*
+variants without code duplication.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.concurrent_map import DEFAULT_SHARD_COUNT, ConcurrentMap
+from repro.util.errors import ConfigError
+
+
+class Tier(Enum):
+    """Which hashmap a lookup was served from."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    LONG = "long"
+
+
+@dataclass
+class RotatingStoreStats:
+    """Lifetime counters for one bank."""
+
+    puts: int = 0
+    puts_long: int = 0
+    overwrites: int = 0
+    rotations: int = 0
+    entries_rotated: int = 0
+    entries_cleared: int = 0
+    hits: Dict[str, int] = field(default_factory=lambda: {t.value: 0 for t in Tier})
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.misses + sum(self.hits.values())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return (lookups - self.misses) / lookups if lookups else 0.0
+
+
+class StoreBank:
+    """Active/Inactive/Long hashmap triple over ``num_splits`` splits."""
+
+    def __init__(
+        self,
+        clear_up_interval: float,
+        num_splits: int = 1,
+        shard_count: int = DEFAULT_SHARD_COUNT,
+        rotation_enabled: bool = True,
+        clear_up_enabled: bool = True,
+        long_enabled: bool = True,
+        long_clear_every: int = 0,
+    ):
+        if clear_up_interval <= 0:
+            raise ConfigError("clear_up_interval must be positive")
+        if num_splits <= 0:
+            raise ConfigError("num_splits must be positive")
+        self.clear_up_interval = float(clear_up_interval)
+        self.num_splits = num_splits
+        self.rotation_enabled = rotation_enabled
+        self.clear_up_enabled = clear_up_enabled
+        self.long_enabled = long_enabled
+        # "never cleared or are cleared much less frequently": 0 = never;
+        # k > 0 = cleared on every k-th clear-up round.
+        self.long_clear_every = long_clear_every
+        self.stats = RotatingStoreStats()
+        self._active = [ConcurrentMap(shard_count) for _ in range(num_splits)]
+        self._inactive = [ConcurrentMap(shard_count) for _ in range(num_splits)]
+        self._long = [ConcurrentMap(shard_count) for _ in range(num_splits)]
+        self._last_clear_ts: Optional[float] = None
+        self._clear_rounds = 0
+        self._clear_lock = threading.Lock()
+
+    def _split(self, label: int) -> int:
+        return label % self.num_splits
+
+    def put(self, label: int, key: str, value: str, ttl: float, ts: float) -> None:
+        """Insert one record, running the clear-up check first (Algorithm 1).
+
+        The clear-up clock is driven by *record timestamps*, not wall time,
+        so offline replays behave identically to live operation.
+        """
+        self.maybe_clear_up(ts)
+        n = self._split(label)
+        goes_long = self.long_enabled and ttl >= self.clear_up_interval
+        target = self._long[n] if goes_long else self._active[n]
+        previous = target.get(key)
+        if previous is not None and previous != value:
+            # Same key, new name: the overwrite the paper's accuracy
+            # analysis quantifies (multiple domains on one IP).
+            self.stats.overwrites += 1
+        target.set(key, value)
+        self.stats.puts += 1
+        if goes_long:
+            self.stats.puts_long += 1
+
+    def deep_lookup(self, label: int, key: str) -> Tuple[Optional[str], Optional[Tier]]:
+        """Algorithm 2's deepLookUp: Active, then Inactive, then Long."""
+        n = self._split(label)
+        value = self._active[n].get(key)
+        if value is not None:
+            self.stats.hits[Tier.ACTIVE.value] += 1
+            return value, Tier.ACTIVE
+        value = self._inactive[n].get(key)
+        if value is not None:
+            self.stats.hits[Tier.INACTIVE.value] += 1
+            return value, Tier.INACTIVE
+        value = self._long[n].get(key)
+        if value is not None:
+            self.stats.hits[Tier.LONG.value] += 1
+            return value, Tier.LONG
+        self.stats.misses += 1
+        return None, None
+
+    def put_active(self, label: int, key: str, value: str) -> None:
+        """Direct Active insert, used for CNAME chain memoisation (step 7)."""
+        self._active[self._split(label)].set(key, value)
+        self.stats.puts += 1
+
+    def maybe_clear_up(self, ts: float) -> bool:
+        """Rotate + clear when a clear-up interval has elapsed.
+
+        Mirrors Algorithm 1: ``if d.ts - lastClearUpTs >= interval`` then
+        Inactive = Active; Active = {}. With rotation disabled the Active
+        maps are simply cleared; with clear-up disabled nothing happens.
+        """
+        if not self.clear_up_enabled:
+            return False
+        # Cheap unguarded pre-check; the lock only serialises the rare
+        # rotation itself, not the per-record fast path.
+        last = self._last_clear_ts
+        if last is not None and ts - last < self.clear_up_interval:
+            return False
+        with self._clear_lock:
+            if self._last_clear_ts is None:
+                self._last_clear_ts = ts
+                return False
+            if ts - self._last_clear_ts < self.clear_up_interval:
+                return False  # another worker rotated while we waited
+            self._run_clear_up()
+            self._last_clear_ts = ts
+            return True
+
+    def _run_clear_up(self) -> None:
+        self._clear_rounds += 1
+        for n in range(self.num_splits):
+            if self.rotation_enabled:
+                self._inactive[n].replace_contents(self._active[n])
+                self.stats.entries_rotated += len(self._inactive[n])
+            self.stats.entries_cleared += self._active[n].clear()
+        if self.long_clear_every and self._clear_rounds % self.long_clear_every == 0:
+            for n in range(self.num_splits):
+                self.stats.entries_cleared += self._long[n].clear()
+        self.stats.rotations += 1
+
+    def force_clear_up(self) -> None:
+        """Run a clear-up round immediately (used by tests and A.8 harness)."""
+        self._run_clear_up()
+
+    def entry_counts(self) -> Dict[str, int]:
+        """Entry totals per tier — the memory model's primary input."""
+        return {
+            Tier.ACTIVE.value: sum(len(m) for m in self._active),
+            Tier.INACTIVE.value: sum(len(m) for m in self._inactive),
+            Tier.LONG.value: sum(len(m) for m in self._long),
+        }
+
+    def total_entries(self) -> int:
+        return sum(self.entry_counts().values())
+
+    def contended_acquisitions(self) -> int:
+        maps = self._active + self._inactive + self._long
+        return sum(m.contended_acquisitions for m in maps)
+
+    def split_sizes(self) -> List[int]:
+        """Active entries per split — used to test label spread."""
+        return [len(m) for m in self._active]
+
+
+class RotatingStore:
+    """The full FlowDNS internal storage: IP-NAME and NAME-CNAME banks.
+
+    Keys follow the paper exactly: the hashmap key is the DNS *answer*
+    (the IP address for A/AAAA, the canonical name for CNAME) and the
+    value is the *query* name.
+    """
+
+    def __init__(self, ip_name: StoreBank, name_cname: StoreBank):
+        self.ip_name = ip_name
+        self.name_cname = name_cname
+
+    def total_entries(self) -> int:
+        return self.ip_name.total_entries() + self.name_cname.total_entries()
+
+    def entry_counts(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "ip_name": self.ip_name.entry_counts(),
+            "name_cname": self.name_cname.entry_counts(),
+        }

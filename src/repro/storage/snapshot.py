@@ -1,0 +1,88 @@
+"""Storage snapshots: persist and restore FlowDNS's DNS state.
+
+Operationally, restarting FlowDNS starts with empty hashmaps and
+correlation stays degraded until the maps re-fill (up to a clear-up
+interval). Snapshotting the storage on shutdown and restoring on start
+removes that gap. The format is a versioned JSON document covering the
+Active/Inactive/Long tiers of both banks, including the clear-up
+bookkeeping, so a restored store rotates on schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, TextIO
+
+from repro.storage.rotating import StoreBank
+from repro.util.errors import ParseError
+
+SNAPSHOT_VERSION = 1
+
+
+def _bank_state(bank: StoreBank) -> Dict:
+    return {
+        "clear_up_interval": bank.clear_up_interval,
+        "num_splits": bank.num_splits,
+        "last_clear_ts": bank._last_clear_ts,
+        "tiers": {
+            "active": [m.snapshot() for m in bank._active],
+            "inactive": [m.snapshot() for m in bank._inactive],
+            "long": [m.snapshot() for m in bank._long],
+        },
+    }
+
+
+def _restore_bank(bank: StoreBank, state: Dict) -> None:
+    if state["num_splits"] != bank.num_splits:
+        raise ParseError(
+            f"snapshot has {state['num_splits']} splits, bank has {bank.num_splits}"
+        )
+    bank._last_clear_ts = state["last_clear_ts"]
+    for tier_name, maps in (
+        ("active", bank._active),
+        ("inactive", bank._inactive),
+        ("long", bank._long),
+    ):
+        tier_state = state["tiers"][tier_name]
+        if len(tier_state) != len(maps):
+            raise ParseError(f"snapshot tier {tier_name!r} has wrong split count")
+        for cmap, entries in zip(maps, tier_state):
+            cmap.clear()
+            for key, value in entries.items():
+                cmap.set(key, value)
+
+
+def dump_storage(storage, sink: TextIO) -> int:
+    """Write a JSON snapshot of a DnsStorage's rotating banks.
+
+    Returns the number of entries written. Exact-TTL storages are not
+    snapshot-able (their entries expire by wall time; a restore would
+    resurrect stale records), and raise :class:`ParseError`.
+    """
+    if storage.ip_bank is None:
+        raise ParseError("exact-TTL storage cannot be snapshotted")
+    document = {
+        "version": SNAPSHOT_VERSION,
+        "ip_name": _bank_state(storage.ip_bank),
+        "name_cname": _bank_state(storage.cname_bank),
+    }
+    json.dump(document, sink)
+    return storage.total_entries()
+
+
+def load_storage(storage, source: TextIO) -> int:
+    """Restore a snapshot into a compatibly configured DnsStorage.
+
+    Returns the number of entries restored.
+    """
+    if storage.ip_bank is None:
+        raise ParseError("exact-TTL storage cannot be restored into")
+    try:
+        document = json.load(source)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"snapshot is not valid JSON: {exc}") from exc
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise ParseError(f"unsupported snapshot version {document.get('version')!r}")
+    _restore_bank(storage.ip_bank, document["ip_name"])
+    _restore_bank(storage.cname_bank, document["name_cname"])
+    return storage.total_entries()

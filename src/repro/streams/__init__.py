@@ -1,0 +1,23 @@
+"""Stream substrate: bounded buffers, stream sources, worker queues.
+
+Section 2 of the paper: "Each of the above-mentioned streams has an
+internal buffer to be used in case the reading speed is less than their
+actual rate. If that buffer overflows, the streams start to drop data."
+Loss, throughout the paper, means exactly these buffer drops — so the
+buffer with drop accounting is a first-class citizen here, and every
+engine (threaded or simulated) reports loss through it.
+"""
+
+from repro.streams.buffer import BoundedBuffer, BufferStats
+from repro.streams.queues import ShardedQueues, WorkerQueue
+from repro.streams.stream import RecordStream, StreamSet, interleave_streams
+
+__all__ = [
+    "BoundedBuffer",
+    "BufferStats",
+    "WorkerQueue",
+    "ShardedQueues",
+    "RecordStream",
+    "StreamSet",
+    "interleave_streams",
+]

@@ -1,0 +1,57 @@
+"""Clock abstractions.
+
+FlowDNS's mechanisms are all time-driven: clear-up intervals, buffer
+rotation, TTL expiry, diurnal load. To reproduce week-long deployments
+(Figure 2) in seconds, the simulation engine runs against a
+:class:`SimClock` whose time is advanced by record timestamps, while the
+threaded engine can use a :class:`SystemClock` for live operation.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class Clock:
+    """Interface: something that can report the current UNIX timestamp."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def advance_to(self, ts: float) -> None:
+        """Move time forward. No-op for real clocks."""
+
+
+class SystemClock(Clock):
+    """Wall-clock time, for live/threaded operation."""
+
+    def now(self) -> float:
+        return _time.time()
+
+
+class SimClock(Clock):
+    """A manually advanced clock driven by record timestamps.
+
+    Time never moves backwards: :meth:`advance_to` with an older timestamp
+    leaves the clock unchanged, which mirrors how FlowDNS tracks the
+    newest-seen record timestamp to decide when a clear-up interval has
+    elapsed (Algorithm 1 uses ``d.ts - lastAClearUpTs``).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, ts: float) -> None:
+        if ts > self._now:
+            self._now = float(ts)
+
+    def advance_by(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a SimClock backwards")
+        self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,338 @@
+"""CDN hosting model: CNAME chains, shared IP pools, origin ASes.
+
+This is the mechanism that makes the paper's problem hard: "If multiple
+services are using the same CDN provider, they cannot be easily
+distinguished based on IP prefixes alone." Each provider owns IP pools
+(with origin AS numbers, feeding the BGP correlation of Figure 4), and
+services hosted on it resolve through provider-owned CNAME chains to
+edge hostnames whose A/AAAA records point into the shared pools.
+
+Pool sharing is calibrated to Appendix A.7: ≈88 % of IPs map to a single
+edge name within a 300 s window, and ≈35 % of names map to more than one
+IP.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng
+from repro.workloads.domains import DomainUniverse, ServiceSpec
+from repro.workloads.ttl_model import TtlModel
+
+#: Fraction of resolutions answered with AAAA instead of A.
+DEFAULT_AAAA_FRACTION = 0.25
+
+#: P(k candidate IPs per edge name): 65 % of names pin to one IP,
+#: 35 % rotate over several (Appendix A.7's "35% of the domain names map
+#: to more than one IP address").
+IPS_PER_NAME_WEIGHTS = ((1, 0.35), (2, 0.30), (3, 0.20), (4, 0.15))
+
+#: Long-TTL values for services marked ``long_lived`` (>= 3600 s, so the
+#: records land in the Long hashmaps). Weighted toward the shorter end,
+#: like real long TTLs are.
+LONG_TTL_CHOICES = (7200, 7200, 7200, 14400, 14400, 86400)
+
+
+@dataclass(frozen=True)
+class CdnProvider:
+    """One CDN: a name, IPv4/IPv6 pools, and the ASes they originate from."""
+
+    name: str
+    v4_prefixes: Tuple[Tuple[str, int], ...]  # (cidr, origin_asn)
+    v6_prefixes: Tuple[Tuple[str, int], ...]
+    pool_size_v4: int = 512
+    pool_size_v6: int = 192
+
+    def build_pools(self, rng: random.Random) -> Tuple[List[str], List[str]]:
+        """Materialise concrete addresses from the prefixes.
+
+        Addresses are spread over the prefixes proportionally to prefix
+        size so a provider announcing from two ASes (the paper's S2 case)
+        shows both in the per-AS traffic series.
+        """
+        v4 = self._addresses(rng, self.v4_prefixes, self.pool_size_v4, version=4)
+        v6 = self._addresses(rng, self.v6_prefixes, self.pool_size_v6, version=6)
+        return v4, v6
+
+    @staticmethod
+    def _addresses(
+        rng: random.Random,
+        prefixes: Sequence[Tuple[str, int]],
+        count: int,
+        version: int,
+    ) -> List[str]:
+        if not prefixes:
+            return []
+        out: List[str] = []
+        seen = set()
+        networks = [ipaddress.ip_network(cidr) for cidr, _ in prefixes]
+        for net in networks:
+            if net.version != version:
+                raise ConfigError(f"prefix {net} is not IPv{version}")
+        # Never ask for more distinct hosts than the prefixes contain
+        # (the sampling below draws offsets in [1, num_addresses - 1)).
+        capacity = sum(min(net.num_addresses - 2, 2**20 - 1) for net in networks)
+        count = min(count, capacity)
+        while len(out) < count:
+            net = networks[rng.randrange(len(networks))]
+            offset = rng.randrange(1, min(net.num_addresses - 1, 2**20))
+            addr = str(net.network_address + offset)
+            if addr not in seen:
+                seen.add(addr)
+                out.append(addr)
+        return out
+
+    def asn_for(self, ip: str) -> Optional[int]:
+        addr = ipaddress.ip_address(ip)
+        prefixes = self.v4_prefixes if addr.version == 4 else self.v6_prefixes
+        for cidr, asn in prefixes:
+            if addr in ipaddress.ip_network(cidr):
+                return asn
+        return None
+
+
+#: Provider name for dedicated (non-CDN) origin hosting.
+ORIGIN_PROVIDER = "origin-host"
+
+
+def default_providers(extra: Sequence[str] = ("acme-cdn", "borealis", "cumulus")) -> List[CdnProvider]:
+    """The reproduction's CDN landscape.
+
+    ``stream-cdn-1`` originates from a single AS (Figure 4a: S1 "mostly
+    from only one AS"); ``stream-cdn-2`` from two ASes (Figure 4b: S2
+    "mainly by two ASes"). Generic providers host everyone else, and
+    ``origin-host`` provides dedicated per-service addresses for
+    origin-hosted services (long-lived, rare-origin, and abuse domains).
+    """
+    providers = [
+        CdnProvider(
+            name=ORIGIN_PROVIDER,
+            v4_prefixes=(("10.99.0.0/16", 64800),),
+            v6_prefixes=(("2001:db8:999::/48", 64800),),
+            pool_size_v4=4096,
+            pool_size_v6=1024,
+        ),
+        CdnProvider(
+            name="stream-cdn-1",
+            v4_prefixes=(("198.51.100.0/24", 64501), ("203.0.113.0/25", 64501)),
+            v6_prefixes=(("2001:db8:1::/48", 64501),),
+        ),
+        CdnProvider(
+            name="stream-cdn-2",
+            v4_prefixes=(("192.0.2.0/25", 64511), ("192.0.2.128/25", 64512)),
+            v6_prefixes=(("2001:db8:2::/49", 64511), ("2001:db8:2:8000::/49", 64512)),
+        ),
+    ]
+    base_v4 = 20
+    base_asn = 64600
+    for i, name in enumerate(extra):
+        providers.append(
+            CdnProvider(
+                name=name,
+                v4_prefixes=((f"10.{base_v4 + i * 4}.0.0/16", base_asn + i),),
+                v6_prefixes=((f"2001:db8:{100 + i:x}::/48", base_asn + i),),
+            )
+        )
+    return providers
+
+
+#: How many A/AAAA answers one response carries (Section 2's
+#: ``[name; rtype; ttl; answer] <0,n>``): CDN responses frequently return
+#: several addresses at once — together with re-resolution churn this
+#: produces Appendix A.7's "35 % of the domain names map to more than
+#: one IP address".
+ANSWERS_PER_RESPONSE_WEIGHTS = ((1, 0.60), (2, 0.22), (3, 0.10), (4, 0.08))
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """One DNS resolution event: everything a cache miss reveals.
+
+    ``chain`` is ordered service-first: ``(service_name, alias…, edge)``;
+    the A/AAAA records' owner is ``chain[-1]`` and their rdata are the
+    addresses in ``ips`` (one stream record each). ``visible`` is False
+    when the client used a public resolver — the flows still happen, the
+    DNS records never reach FlowDNS (Section 4's coverage analysis).
+    """
+
+    ts: float
+    service: ServiceSpec
+    chain: Tuple[str, ...]
+    ips: Tuple[str, ...]
+    rtype: RRType
+    a_ttl: int
+    cname_ttl: int
+    visible: bool = True
+
+    @property
+    def ip(self) -> str:
+        """The primary answer — the address clients connect to first."""
+        return self.ips[0]
+
+    def records(self) -> List[DnsRecord]:
+        """The stream records this resolution contributes (if visible)."""
+        out: List[DnsRecord] = []
+        for owner, target in zip(self.chain, self.chain[1:]):
+            out.append(DnsRecord(self.ts, owner, RRType.CNAME, self.cname_ttl, target))
+        for ip in self.ips:
+            out.append(DnsRecord(self.ts, self.chain[-1], self.rtype, self.a_ttl, ip))
+        return out
+
+    @property
+    def effective_ttl(self) -> int:
+        return self.a_ttl
+
+
+class CdnHosting:
+    """Maps services onto providers and synthesises their resolutions."""
+
+    def __init__(
+        self,
+        universe: DomainUniverse,
+        providers: Sequence[CdnProvider] = None,
+        seed: int = 0,
+        ttl_model: TtlModel = None,
+        aaaa_fraction: float = DEFAULT_AAAA_FRACTION,
+        ephemeral_fraction: float = 0.18,
+    ):
+        self.universe = universe
+        self.providers = list(providers) if providers is not None else default_providers()
+        self.ttl_model = ttl_model if ttl_model is not None else TtlModel()
+        self.aaaa_fraction = aaaa_fraction
+        # CDNs mint per-session edge hostnames (token-prefixed names are
+        # how real CDNs pin sessions); these are the unbounded key
+        # material that makes the No Clear-Up variant's memory grow all
+        # day (Figure 3b) — a fixed name universe would quietly saturate.
+        self.ephemeral_fraction = ephemeral_fraction
+        self._by_name: Dict[str, CdnProvider] = {p.name: p for p in self.providers}
+        rng = derive_rng(seed, "cdn-pools")
+        self._pools_v4: Dict[str, List[str]] = {}
+        self._pools_v6: Dict[str, List[str]] = {}
+        for provider in self.providers:
+            v4, v6 = provider.build_pools(rng)
+            self._pools_v4[provider.name] = v4
+            self._pools_v6[provider.name] = v6
+        self._assignments: Dict[str, CdnProvider] = {}
+        self._candidate_ips: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+        self._chains: Dict[str, Tuple[str, ...]] = {}
+        self._assign(derive_rng(seed, "cdn-assign"))
+
+    def _assign(self, rng: random.Random) -> None:
+        generic = [
+            p
+            for p in self.providers
+            if not p.name.startswith("stream-cdn-") and p.name != ORIGIN_PROVIDER
+        ]
+        origin = self._by_name.get(ORIGIN_PROVIDER)
+        for service in self.universe.services:
+            if service.cdn is not None and service.cdn in self._by_name:
+                provider = self._by_name[service.cdn]
+            elif service.origin_hosted and origin is not None:
+                provider = origin
+            else:
+                provider = generic[rng.randrange(len(generic))] if generic else self.providers[0]
+            self._assignments[service.name] = provider
+            self._chains[service.name] = self._build_chain(service, provider)
+            if service.origin_hosted and provider is origin:
+                # Dedicated addresses: exactly one IP per family, drawn
+                # from a pool large enough that sharing is negligible.
+                v4_pool = self._pools_v4[provider.name]
+                v6_pool = self._pools_v6[provider.name]
+                self._candidate_ips[service.name] = (
+                    (v4_pool[rng.randrange(len(v4_pool))],) if v4_pool else (),
+                    (v6_pool[rng.randrange(len(v6_pool))],) if v6_pool else (),
+                )
+            else:
+                self._candidate_ips[service.name] = (
+                    self._pick_ips(rng, self._pools_v4[provider.name]),
+                    self._pick_ips(rng, self._pools_v6[provider.name]),
+                )
+
+    @staticmethod
+    def _pick_ips(rng: random.Random, pool: List[str]) -> Tuple[str, ...]:
+        if not pool:
+            return ()
+        x = rng.random()
+        acc = 0.0
+        k = 1
+        for count, weight in IPS_PER_NAME_WEIGHTS:
+            acc += weight
+            if x <= acc:
+                k = count
+                break
+        k = min(k, len(pool))
+        return tuple(rng.sample(pool, k))
+
+    def _build_chain(self, service: ServiceSpec, provider: CdnProvider) -> Tuple[str, ...]:
+        """Service name → alias(es) → edge hostname, fixed per service."""
+        length = service.chain_length
+        if length == 1:
+            return (service.name,)
+        label = service.name.split(".")[0][:24]
+        chain = [service.name]
+        for hop in range(length - 2):
+            chain.append(f"{label}.r{hop}.{provider.name}.net")
+        chain.append(f"e-{label}.edge.{provider.name}.net")
+        return tuple(chain)
+
+    def provider_of(self, service_name: str) -> CdnProvider:
+        return self._assignments[service_name]
+
+    def chain_of(self, service_name: str) -> Tuple[str, ...]:
+        return self._chains[service_name]
+
+    def resolve(self, service: ServiceSpec, ts: float, rng: random.Random, visible: bool = True) -> Resolution:
+        """Synthesise one cache-miss resolution for ``service`` at ``ts``."""
+        v4_ips, v6_ips = self._candidate_ips[service.name]
+        use_v6 = bool(v6_ips) and rng.random() < self.aaaa_fraction
+        candidates = v6_ips if use_v6 else (v4_ips or v6_ips)
+        if not candidates:
+            raise ConfigError(f"no pool IPs for service {service.name}")
+        x = rng.random()
+        acc = 0.0
+        n_answers = 1
+        for count, weight in ANSWERS_PER_RESPONSE_WEIGHTS:
+            acc += weight
+            if x <= acc:
+                n_answers = count
+                break
+        n_answers = min(n_answers, len(candidates))
+        start = rng.randrange(len(candidates))
+        ips = tuple(
+            candidates[(start + i) % len(candidates)] for i in range(n_answers)
+        )
+        rtype = RRType.AAAA if use_v6 else RRType.A
+        if service.long_lived:
+            a_ttl = LONG_TTL_CHOICES[rng.randrange(len(LONG_TTL_CHOICES))]
+        else:
+            a_ttl = self.ttl_model.sample(rng, rtype)
+        cname_ttl = self.ttl_model.sample(rng, RRType.CNAME)
+        chain = self._chains[service.name]
+        if len(chain) > 1 and rng.random() < self.ephemeral_fraction:
+            token = rng.getrandbits(48)
+            chain = chain[:-1] + (f"t{token:012x}.{chain[-1]}",)
+        return Resolution(
+            ts=ts,
+            service=service,
+            chain=chain,
+            ips=ips,
+            rtype=rtype,
+            a_ttl=a_ttl,
+            cname_ttl=cname_ttl,
+            visible=visible,
+        )
+
+    def rib_entries(self) -> List[Tuple[str, int]]:
+        """(prefix, origin ASN) pairs for building the BGP RIB."""
+        out: List[Tuple[str, int]] = []
+        for provider in self.providers:
+            out.extend(provider.v4_prefixes)
+            out.extend(provider.v6_prefixes)
+        return out

@@ -1,0 +1,49 @@
+"""Diurnal traffic shape.
+
+Figures 2 and 4 show the classic eyeball-ISP pattern: "daily peaks in the
+evening period, a low time during night hours, and an increase during the
+day". The shape here is a smooth two-harmonic curve with its maximum at
+~21:00 local time and minimum at ~04:30, normalised so its *mean* over a
+day is 1.0 — a preset's nominal rate is therefore the daily average, as
+the paper's "75K DNS records per second on average" is.
+"""
+
+from __future__ import annotations
+
+import math
+
+SECONDS_PER_DAY = 86400.0
+
+
+class DiurnalPattern:
+    """Multiplicative rate modulation as a function of time-of-day."""
+
+    def __init__(self, amplitude: float = 0.45, peak_hour: float = 21.0, skew: float = 0.18):
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        self.amplitude = amplitude
+        self.peak_hour = peak_hour
+        self.skew = skew
+
+    def factor(self, ts: float) -> float:
+        """Rate multiplier at UNIX time ``ts`` (mean over a day ≈ 1.0)."""
+        hour_angle = 2.0 * math.pi * ((ts % SECONDS_PER_DAY) / SECONDS_PER_DAY)
+        peak_angle = 2.0 * math.pi * (self.peak_hour / 24.0)
+        base = math.cos(hour_angle - peak_angle)
+        # Second harmonic flattens the daytime plateau without moving the
+        # mean (its integral over a day is zero as well).
+        second = math.cos(2.0 * (hour_angle - peak_angle))
+        return max(0.05, 1.0 + self.amplitude * base + self.skew * second)
+
+    def rate_at(self, base_rate: float, ts: float) -> float:
+        return base_rate * self.factor(ts)
+
+
+class FlatPattern(DiurnalPattern):
+    """No modulation — for tests that need constant-rate streams."""
+
+    def __init__(self) -> None:
+        super().__init__(amplitude=0.0, skew=0.0)
+
+    def factor(self, ts: float) -> float:
+        return 1.0

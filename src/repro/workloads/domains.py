@@ -1,0 +1,255 @@
+"""Service and domain-name universe.
+
+The paper's intro frames the problem around services (Netflix, Amazon
+Prime, Google, …) hosted on shared CDNs. The universe here is a set of
+:class:`ServiceSpec` entries: every service has a user-facing domain
+name, a popularity weight (Zipf — a handful of streaming services carry
+most bytes at an eyeball ISP), a hosting assignment (which CDN, how long
+a CNAME chain), and traffic-shape parameters. Malicious and malformed
+populations from :mod:`repro.workloads.malicious` are merged in with
+paper-calibrated byte shares (Section 5: ≈0.5 % of daily volume).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_rng
+from repro.workloads.malicious import AbusePopulation, build_abuse_population
+
+_WORD_A = (
+    "stream", "video", "play", "cloud", "shop", "news", "social", "game",
+    "music", "photo", "mail", "search", "map", "chat", "store", "media",
+)
+_WORD_B = (
+    "hub", "box", "ly", "zone", "now", "plus", "prime", "go", "it",
+    "space", "net", "life", "time", "base", "day", "lab",
+)
+_TLDS = ("com", "net", "org", "tv", "io", "de", "eu")
+
+#: Byte share of malformed + spam traffic: "0.5% of the daily traffic
+#: volume uses either malformatted or spam/phish domain names".
+PAPER_ABUSE_BYTE_SHARE = 0.005
+
+#: Figure 6: chain-length distribution (lookup chain including the
+#: IP→NAME hit). >99 % of records resolve within 6 lookups; tail to 17.
+CHAIN_LENGTH_WEIGHTS: Tuple[Tuple[int, float], ...] = (
+    (1, 0.38),
+    (2, 0.28),
+    (3, 0.17),
+    (4, 0.10),
+    (5, 0.045),
+    (6, 0.018),
+    (7, 0.004),
+    (8, 0.002),
+    (10, 0.0006),
+    (13, 0.0003),
+    (17, 0.0001),
+)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service in the universe.
+
+    ``chain_length`` counts the total lookup chain FlowDNS discovers for
+    this service's traffic: 1 means the A record's owner is the service
+    name itself (no CNAME); k > 1 means k-1 CNAME hops.
+    ``popularity`` weights how often clients resolve the service;
+    ``byte_weight`` weights how much traffic volume it contributes (the
+    two differ: video streams few resolutions, many bytes).
+    """
+
+    name: str
+    category: str = "benign"
+    popularity: float = 1.0
+    byte_weight: float = 1.0
+    cdn: Optional[str] = None
+    chain_length: int = 2
+    long_lived: bool = False  # resolves with TTL >= AClearUpInterval
+    #: Hosted on its own (non-CDN) address: no co-tenants ever refresh
+    #: its IP-NAME entry, so stale flows genuinely depend on how long
+    #: FlowDNS retains old records — the traffic class behind the
+    #: Long-hashmap and rotation ablation deltas.
+    origin_hosted: bool = False
+
+    def __post_init__(self):
+        if self.popularity < 0 or self.byte_weight < 0:
+            raise ConfigError("service weights must be non-negative")
+        if self.chain_length < 1:
+            raise ConfigError("chain_length must be >= 1")
+
+
+@dataclass
+class DomainUniverse:
+    """All services a workload can draw from, with sampling tables."""
+
+    services: List[ServiceSpec]
+    abuse: AbusePopulation
+    seed: int
+
+    _pop_cdf: List[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        if not self.services:
+            raise ConfigError("universe has no services")
+        total = sum(s.popularity for s in self.services)
+        if total <= 0:
+            raise ConfigError("total popularity must be positive")
+        acc = 0.0
+        self._pop_cdf = []
+        for s in self.services:
+            acc += s.popularity / total
+            self._pop_cdf.append(acc)
+        self._pop_cdf[-1] = 1.0
+
+    def sample_service(self, rng: random.Random) -> ServiceSpec:
+        """Draw a service by resolution popularity."""
+        import bisect
+
+        idx = bisect.bisect_left(self._pop_cdf, rng.random())
+        return self.services[min(idx, len(self.services) - 1)]
+
+    def service_named(self, name: str) -> ServiceSpec:
+        for s in self.services:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    @property
+    def size(self) -> int:
+        return len(self.services)
+
+    def by_category(self) -> Dict[str, List[ServiceSpec]]:
+        out: Dict[str, List[ServiceSpec]] = {}
+        for s in self.services:
+            out.setdefault(s.category, []).append(s)
+        return out
+
+
+def _sample_chain_length(rng: random.Random) -> int:
+    x = rng.random()
+    acc = 0.0
+    for length, weight in CHAIN_LENGTH_WEIGHTS:
+        acc += weight
+        if x <= acc:
+            return length
+    return CHAIN_LENGTH_WEIGHTS[-1][0]
+
+
+def _benign_name(rng: random.Random, taken: set) -> str:
+    while True:
+        name = (
+            f"{rng.choice(_WORD_A)}{rng.choice(_WORD_B)}"
+            f"{rng.randrange(1000)}.{rng.choice(_TLDS)}"
+        )
+        if name not in taken:
+            taken.add(name)
+            return name
+
+
+def build_universe(
+    seed: int,
+    n_benign: int = 2000,
+    cdn_names: Sequence[str] = ("acme-cdn", "borealis", "cumulus"),
+    zipf_alpha: float = 0.9,
+    long_lived_fraction: float = 0.04,
+    rare_origin_fraction: float = 0.05,
+    abuse_byte_share: float = PAPER_ABUSE_BYTE_SHARE,
+    streaming_services: int = 2,
+) -> DomainUniverse:
+    """Construct the full universe for one workload.
+
+    * ``streaming_services`` top services are pinned to the head of the
+      Zipf ranking and given dedicated CDN pools — these are the paper's
+      S1/S2 of Figure 4;
+    * ``long_lived_fraction`` of services resolve with TTLs at or above
+      the A clear-up interval, exercising the Long hashmaps;
+    * abuse categories get ``abuse_byte_share`` of total byte weight,
+      split heavy-tailed inside each category (Figure 5's shape).
+    """
+    if n_benign < streaming_services + 1:
+        raise ConfigError("universe too small for the requested streaming services")
+    rng = derive_rng(seed, "universe")
+    taken: set = set()
+    services: List[ServiceSpec] = []
+
+    for rank in range(n_benign):
+        popularity = 1.0 / (rank + 1) ** zipf_alpha
+        if rank < streaming_services:
+            # S1, S2, ...: video services — moderate resolution rate but
+            # dominant byte volume, pinned to dedicated CDNs.
+            name = f"s{rank + 1}-streaming.tv"
+            services.append(
+                ServiceSpec(
+                    name=name,
+                    popularity=popularity,
+                    byte_weight=popularity * 14.0,
+                    cdn=f"stream-cdn-{rank + 1}",
+                    chain_length=_sample_chain_length(rng),
+                    long_lived=False,
+                )
+            )
+            continue
+        name = _benign_name(rng, taken)
+        roll = rng.random()
+        long_lived = roll < long_lived_fraction
+        rare_origin = long_lived_fraction <= roll < long_lived_fraction + rare_origin_fraction
+        popularity_s = popularity
+        byte_weight = popularity * rng.uniform(0.5, 2.0)
+        chain_length = _sample_chain_length(rng)
+        if long_lived or rare_origin:
+            # "Resolve once, transfer for hours" services (updates,
+            # backups, long-session video on origin servers): few cache
+            # misses, many bytes, their own IPs. This asymmetry is what
+            # the Long hashmaps and buffer rotation protect — popular
+            # CDN-shared services re-populate the maps constantly, so
+            # without this class the ablation deltas would vanish.
+            popularity_s = popularity * 0.15
+            byte_weight = popularity * rng.uniform(2.0, 4.0)
+            chain_length = 1 if rng.random() < 0.7 else 2
+        services.append(
+            ServiceSpec(
+                name=name,
+                popularity=popularity_s,
+                byte_weight=byte_weight,
+                cdn=None,  # assigned by the CDN layer
+                chain_length=chain_length,
+                long_lived=long_lived,
+                origin_hosted=long_lived or rare_origin,
+            )
+        )
+
+    abuse = build_abuse_population(derive_rng(seed, "abuse"), n_benign)
+    benign_byte_total = sum(s.byte_weight for s in services)
+    total_abuse_names = len(abuse.all_names())
+    # Abuse byte share: share/(1-share) of the benign total, with each
+    # category's budget proportional to its name count and split
+    # Pareto-style *within* the category — Figure 5's "only a limited
+    # number of domain names account for a large fraction of the
+    # traffic" must hold per category, not just globally.
+    abuse_total = benign_byte_total * abuse_byte_share / (1.0 - abuse_byte_share)
+    arng = derive_rng(seed, "abuse-weights")
+    for category, names in abuse.by_category.items():
+        names = list(names)
+        arng.shuffle(names)
+        category_budget = abuse_total * len(names) / total_abuse_names
+        weights = [1.0 / (i + 1) ** 1.3 for i in range(len(names))]
+        weight_sum = sum(weights)
+        for name, w in zip(names, weights):
+            services.append(
+                ServiceSpec(
+                    name=name,
+                    category=category,
+                    popularity=0.02 * w / weight_sum * len(names),
+                    byte_weight=category_budget * w / weight_sum,
+                    chain_length=1,  # abuse domains rarely sit behind CDN chains
+                    long_lived=False,
+                    origin_hosted=True,  # bulletproof hosting, not shared CDNs
+                )
+            )
+
+    return DomainUniverse(services=services, abuse=abuse, seed=seed)

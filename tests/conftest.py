@@ -1,0 +1,42 @@
+"""Shared fixtures for the FlowDNS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FlowDNSConfig
+from repro.workloads.cdn import CdnHosting, default_providers
+from repro.workloads.domains import build_universe
+from repro.workloads.isp import IspWorkload
+from repro.workloads.ttl_model import TtlModel
+
+
+@pytest.fixture(scope="session")
+def tiny_universe():
+    """A small, fast domain universe shared by workload tests."""
+    return build_universe(seed=42, n_benign=200)
+
+
+@pytest.fixture(scope="session")
+def tiny_hosting(tiny_universe):
+    return CdnHosting(
+        tiny_universe, default_providers(), seed=42, ttl_model=TtlModel()
+    )
+
+
+@pytest.fixture()
+def tiny_workload(tiny_universe, tiny_hosting):
+    """A 30-minute workload, ~2K events — fast enough for unit tests."""
+    return IspWorkload(
+        tiny_universe,
+        tiny_hosting,
+        seed=42,
+        duration=1800.0,
+        resolution_rate=1.0,
+        warmup=600.0,
+    )
+
+
+@pytest.fixture()
+def default_config():
+    return FlowDNSConfig()

@@ -1,0 +1,233 @@
+"""Tests for the analysis layer: DBL, coverage, invalid domains, accuracy."""
+
+import pytest
+
+from repro.analysis.accuracy import names_per_ip
+from repro.analysis.invalid_domains import analyze_invalid_domains
+from repro.analysis.public_resolvers import (
+    DEFAULT_PUBLIC_RESOLVERS,
+    PublicResolverList,
+    estimate_coverage,
+    is_dns_flow,
+)
+from repro.analysis.spamdbl import DomainBlockList, analyze_abuse_traffic
+from repro.core.lookup import CorrelationResult
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.netflow.records import FlowRecord
+from repro.workloads.isp import PUBLIC_RESOLVER_IPS
+
+
+def _result(src_ip, service, dst_ip="100.64.0.1", ts=0.0, bytes_=100,
+            packets=1, dst_port=49152):
+    flow = FlowRecord(ts=ts, src_ip=src_ip, dst_ip=dst_ip, src_port=443,
+                      dst_port=dst_port, packets=packets, bytes_=bytes_)
+    chain = (service,) if service else ()
+    return CorrelationResult(flow=flow, chain=chain, ts=ts)
+
+
+class TestDomainBlockList:
+    def test_classify(self):
+        dbl = DomainBlockList.from_categories({"spam": ["bad.example"], "botnet": ["dga.example"]})
+        assert dbl.classify("bad.example") == "spam"
+        assert dbl.classify("BAD.example.") == "spam"
+        assert dbl.classify("good.example") is None
+
+    def test_expiry(self):
+        dbl = DomainBlockList.from_categories({"spam": ["bad.example"]}, expires_at=100.0)
+        assert dbl.classify("bad.example", ts=50.0) == "spam"
+        assert dbl.classify("bad.example", ts=150.0) is None
+
+    def test_non_dbl_categories_excluded(self):
+        dbl = DomainBlockList.from_categories({"mal-formatted": ["_x.example"]})
+        assert len(dbl) == 0
+
+    def test_query_counters(self):
+        dbl = DomainBlockList.from_categories({"spam": ["bad.example"]})
+        dbl.classify("bad.example")
+        dbl.classify("good.example")
+        assert dbl.queries == 2 and dbl.hits == 1
+
+
+class TestAbuseTraffic:
+    def _dbl(self):
+        return DomainBlockList.from_categories(
+            {"spam": ["spam1.example", "spam2.example"], "botnet": ["bot.example"]}
+        )
+
+    def test_category_aggregation(self):
+        service_bytes = {
+            "spam1.example": 1000,
+            "spam2.example": 200,
+            "bot.example": 500,
+            "benign.example": 100000,
+        }
+        report = analyze_abuse_traffic(service_bytes, self._dbl())
+        assert report.category_counts() == {"spam": 2, "botnet": 1}
+        assert report.category_bytes() == {"spam": 1200, "botnet": 500}
+        assert report.suspicious_names == 3
+
+    def test_abuse_byte_share(self):
+        report = analyze_abuse_traffic(
+            {"spam1.example": 50, "benign.example": 9950}, self._dbl()
+        )
+        assert abs(report.abuse_byte_share() - 0.005) < 1e-9
+
+    def test_sample_limit_respected(self):
+        service_bytes = {f"d{i}.example": 1000 - i for i in range(100)}
+        service_bytes["spam1.example"] = 1  # below the cut
+        report = analyze_abuse_traffic(service_bytes, self._dbl(), sample_limit=50)
+        assert report.sampled_names == 50
+        assert report.suspicious_names == 0
+
+    def test_cumulative_curve_monotone(self):
+        service_bytes = {"spam1.example": 900, "spam2.example": 100}
+        report = analyze_abuse_traffic(service_bytes, self._dbl())
+        curve = report.cumulative_curve("spam")
+        assert curve == [(1, 0.9), (2, 1.0)]
+
+
+class TestCoverage:
+    def _flows(self, public_every=20, n=200):
+        flows = []
+        for i in range(n):
+            resolver = (
+                "8.8.8.8" if i % public_every == 0 else "10.255.0.53"
+            )
+            flows.append(
+                FlowRecord(ts=float(i), src_ip="100.64.0.1", dst_ip=resolver,
+                           src_port=50000, dst_port=53, protocol=17, bytes_=80)
+            )
+            flows.append(
+                FlowRecord(ts=float(i), src_ip="198.51.100.1", dst_ip="100.64.0.1",
+                           src_port=443, dst_port=50000, bytes_=5000)
+            )
+        return flows
+
+    def test_one_in_twenty_gives_95pct(self):
+        report = estimate_coverage(self._flows(public_every=20))
+        assert abs(report.coverage - 0.95) < 0.01
+        assert report.dns_flows == 200
+
+    def test_non_dns_flows_ignored(self):
+        report = estimate_coverage(self._flows())
+        assert report.dns_flows == 200  # the 443 flows are excluded
+
+    def test_is_dns_flow(self):
+        dns = FlowRecord(ts=0, src_ip="1.1.1.1", dst_ip="2.2.2.2", dst_port=53)
+        dot = FlowRecord(ts=0, src_ip="1.1.1.1", dst_ip="2.2.2.2", dst_port=853)
+        web = FlowRecord(ts=0, src_ip="1.1.1.1", dst_ip="2.2.2.2", dst_port=443)
+        assert is_dns_flow(dns) and is_dns_flow(dot) and not is_dns_flow(web)
+
+    def test_reply_direction_uses_src(self):
+        reply = FlowRecord(ts=0, src_ip="8.8.8.8", dst_ip="100.64.0.1",
+                           src_port=53, dst_port=50000)
+        report = estimate_coverage([reply])
+        assert report.public_resolver_flows == 1
+
+    def test_workload_list_is_subset_of_analysis_list(self):
+        """The workload's resolver IPs must be recognised by the analysis."""
+        assert set(PUBLIC_RESOLVER_IPS) <= set(DEFAULT_PUBLIC_RESOLVERS)
+
+    def test_resolver_list_membership(self):
+        resolvers = PublicResolverList()
+        assert "1.1.1.1" in resolvers
+        assert "10.0.0.1" not in resolvers
+
+
+class TestInvalidDomains:
+    def test_invalid_names_and_bytes_counted(self):
+        results = [
+            _result("10.0.0.1", "_bad.example.com", bytes_=400),
+            _result("10.0.0.2", "good.example.com", bytes_=600),
+        ]
+        report = analyze_invalid_domains(results)
+        assert report.invalid_names == 1
+        assert report.names_seen == 2
+        assert report.bytes_invalid == 400
+        assert abs(report.invalid_byte_share - 0.4) < 1e-9
+
+    def test_underscore_share(self):
+        results = [
+            _result("10.0.0.1", "_a.example", bytes_=1),
+            _result("10.0.0.2", "_b.example", bytes_=1),
+            _result("10.0.0.3", "bad!char.example", bytes_=1),
+        ]
+        report = analyze_invalid_domains(results)
+        assert report.char_counts["_"] == 2
+
+    def test_reply_traffic_detected(self):
+        download = _result("10.0.0.1", "_vpn.example", dst_ip="100.64.0.9",
+                           bytes_=900, packets=10)
+        reply_flow = FlowRecord(ts=1.0, src_ip="100.64.0.9", dst_ip="10.0.0.1",
+                                src_port=50000, dst_port=1194, protocol=17,
+                                packets=2, bytes_=200)
+        reply = CorrelationResult(flow=reply_flow, chain=(), ts=1.0)
+        report = analyze_invalid_domains([download, reply])
+        assert report.replying_clients == {"100.64.0.9"}
+        assert report.replied_domains == {"_vpn.example"}
+        assert report.reply_ports.get("openvpn") == 1
+        assert report.packets_bidirectional == 2
+
+    def test_cumulative_curve(self):
+        results = [
+            _result("10.0.0.1", "_big.example", bytes_=900),
+            _result("10.0.0.2", "_small.example", bytes_=100),
+        ]
+        curve = analyze_invalid_domains(results).cumulative_curve()
+        assert curve == [(1, 0.9), (2, 1.0)]
+
+    def test_unmatched_flows_only_counted_in_totals(self):
+        results = [_result("10.0.0.1", None, bytes_=123)]
+        report = analyze_invalid_domains(results)
+        assert report.bytes_total == 123
+        assert report.names_seen == 0
+
+
+class TestNamesPerIp:
+    def _records(self):
+        return [
+            DnsRecord(0.0, "a.example", RRType.A, 60, "10.0.0.1"),
+            DnsRecord(10.0, "b.example", RRType.A, 60, "10.0.0.1"),  # 2nd name, same IP
+            DnsRecord(20.0, "c.example", RRType.A, 60, "10.0.0.2"),
+            DnsRecord(30.0, "c.example", RRType.A, 60, "10.0.0.3"),  # 2nd IP, same name
+            DnsRecord(400.0, "z.example", RRType.A, 60, "10.0.0.9"),  # outside window
+        ]
+
+    def test_window_respected(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        assert "10.0.0.9" not in report.names_per_ip
+
+    def test_names_per_ip_counts(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        assert report.names_per_ip["10.0.0.1"] == 2
+        assert report.names_per_ip["10.0.0.2"] == 1
+
+    def test_single_name_fraction(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        assert abs(report.single_name_fraction - 2 / 3) < 1e-9
+
+    def test_multi_ip_name_fraction(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        # c.example has 2 IPs; a and b have one each.
+        assert abs(report.multi_ip_name_fraction - 1 / 3) < 1e-9
+
+    def test_cname_records_ignored(self):
+        records = [DnsRecord(0.0, "x.example", RRType.CNAME, 60, "y.example")]
+        report = names_per_ip(records, window=300.0, t_start=0.0)
+        assert report.names_per_ip == {}
+
+    def test_accuracy_lower_bound(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        assert report.expected_accuracy_lower_bound == report.single_name_fraction
+
+    def test_ecdf(self):
+        report = names_per_ip(self._records(), window=300.0, t_start=0.0)
+        ecdf = report.names_per_ip_ecdf()
+        assert ecdf.at(1) == pytest.approx(2 / 3)
+        assert ecdf.at(2) == 1.0
+
+    def test_empty_input(self):
+        report = names_per_ip([], window=300.0)
+        assert report.single_name_fraction == 0.0
+        assert report.multi_ip_name_fraction == 0.0

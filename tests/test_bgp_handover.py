@@ -1,0 +1,75 @@
+"""Tests for the hand-over-AS matrix (the planning use case's fallback view)."""
+
+from repro.bgp.correlate import HandoverMatrix, handover_matrix
+from repro.bgp.rib import Rib, Route
+from repro.core.lookup import CorrelationResult
+from repro.netflow.records import FlowRecord
+
+
+def _result(src_ip, service="svc.example", bytes_=100):
+    flow = FlowRecord(ts=0.0, src_ip=src_ip, dst_ip="100.64.0.1", bytes_=bytes_)
+    chain = (service,) if service else ()
+    return CorrelationResult(flow=flow, chain=chain, ts=0.0)
+
+
+def _rib():
+    return Rib([
+        Route("198.51.100.0/24", 64501, as_path=(64700, 64501)),
+        Route("192.0.2.0/25", 64511, as_path=(64700, 64511)),
+        Route("192.0.2.128/25", 64512, as_path=(64701, 64512)),
+    ])
+
+
+class TestHandoverMatrix:
+    def test_pairs_accumulated(self):
+        matrix = handover_matrix(
+            [
+                _result("198.51.100.1", bytes_=500),
+                _result("192.0.2.1", bytes_=300),
+                _result("192.0.2.200", bytes_=200),
+            ],
+            _rib(),
+        )
+        assert matrix.bytes_by_pair[(64501, 64700)] == 500
+        assert matrix.bytes_by_pair[(64511, 64700)] == 300
+        assert matrix.bytes_by_pair[(64512, 64701)] == 200
+
+    def test_by_handover(self):
+        matrix = handover_matrix(
+            [_result("198.51.100.1", bytes_=500), _result("192.0.2.1", bytes_=300)],
+            _rib(),
+        )
+        assert matrix.by_handover() == {64700: 800}
+
+    def test_shift_if_broken(self):
+        matrix = handover_matrix(
+            [
+                _result("198.51.100.1", bytes_=500),
+                _result("192.0.2.1", bytes_=300),
+                _result("192.0.2.200", bytes_=200),
+            ],
+            _rib(),
+        )
+        assert matrix.shift_if_broken(64700) == 800
+        assert matrix.shift_if_broken(64701) == 200
+        assert matrix.shift_if_broken(65000) == 0
+
+    def test_origins_behind(self):
+        matrix = handover_matrix(
+            [_result("198.51.100.1"), _result("192.0.2.1")], _rib()
+        )
+        assert matrix.origins_behind(64700) == [64501, 64511]
+
+    def test_unrouted_and_unmatched(self):
+        matrix = handover_matrix(
+            [_result("203.0.113.9", bytes_=70), _result("198.51.100.1", service=None)],
+            _rib(),
+        )
+        assert matrix.unrouted_bytes == 70
+        assert matrix.bytes_by_pair == {}
+
+    def test_route_without_path_has_none_handover(self):
+        rib = Rib([Route("10.0.0.0/8", 64800)])
+        matrix = handover_matrix([_result("10.1.2.3", bytes_=10)], rib)
+        assert matrix.bytes_by_pair == {(64800, None): 10}
+        assert matrix.by_handover() == {None: 10}

@@ -1,0 +1,83 @@
+"""Property-based tests: the radix trie versus a brute-force LPM oracle."""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix_trie import PrefixTrie
+
+_prefix_v4 = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: ipaddress.ip_network((t[0], t[1]), strict=False))
+
+_address_v4 = st.integers(min_value=0, max_value=2**32 - 1).map(ipaddress.IPv4Address)
+
+_prefix_v6 = st.tuples(
+    st.integers(min_value=0, max_value=2**128 - 1),
+    st.integers(min_value=0, max_value=64),
+).map(lambda t: ipaddress.ip_network((t[0], t[1]), strict=False))
+
+_address_v6 = st.integers(min_value=0, max_value=2**128 - 1).map(ipaddress.IPv6Address)
+
+
+def _oracle(prefixes, address):
+    """Brute-force longest-prefix match."""
+    best = None
+    best_len = -1
+    for net, value in prefixes.items():
+        if address in net and net.prefixlen > best_len:
+            best = value
+            best_len = net.prefixlen
+    return best
+
+
+@given(
+    st.dictionaries(_prefix_v4, st.integers(), min_size=0, max_size=25),
+    st.lists(_address_v4, min_size=1, max_size=10),
+)
+@settings(max_examples=120, deadline=None)
+def test_trie_matches_oracle_v4(prefixes, addresses):
+    trie = PrefixTrie()
+    for net, value in prefixes.items():
+        trie.insert(net, value)
+    for address in addresses:
+        assert trie.lookup(address) == _oracle(prefixes, address)
+
+
+@given(
+    st.dictionaries(_prefix_v6, st.integers(), min_size=0, max_size=15),
+    st.lists(_address_v6, min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_trie_matches_oracle_v6(prefixes, addresses):
+    trie = PrefixTrie()
+    for net, value in prefixes.items():
+        trie.insert(net, value)
+    for address in addresses:
+        assert trie.lookup(address) == _oracle(prefixes, address)
+
+
+@given(st.dictionaries(_prefix_v4, st.integers(), min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_insert_then_remove_restores_empty_lookup(prefixes):
+    trie = PrefixTrie()
+    for net, value in prefixes.items():
+        trie.insert(net, value)
+    assert len(trie) == len(prefixes)
+    for net in prefixes:
+        assert trie.remove(net)
+    assert len(trie) == 0
+    for net in prefixes:
+        assert trie.lookup(net.network_address) is None
+
+
+@given(st.dictionaries(_prefix_v4, st.integers(), min_size=0, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_items_round_trip(prefixes):
+    trie = PrefixTrie()
+    for net, value in prefixes.items():
+        trie.insert(net, value)
+    listed = {ipaddress.ip_network(p): v for p, v in trie.items()}
+    assert listed == dict(prefixes)

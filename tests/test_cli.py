@@ -1,0 +1,195 @@
+"""Tests for the flowdns CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def mapping_file(tmp_path):
+    config = {
+        "dns": {
+            "ts": "ts",
+            "query": "qname",
+            "rtype": "rtype",
+            "ttl": "ttl",
+            "answer": "answer",
+        },
+        "flow": {
+            "ts": "ts",
+            "src_ip": "src",
+            "dst_ip": "dst",
+            "bytes": {"field": "bytes", "default": 0},
+        },
+    }
+    path = tmp_path / "mapping.json"
+    path.write_text(json.dumps(config))
+    return str(path)
+
+
+@pytest.fixture()
+def csv_inputs(tmp_path):
+    dns = tmp_path / "dns.csv"
+    dns.write_text(
+        "ts,qname,rtype,ttl,answer\n"
+        "1.0,svc.example,CNAME,600,edge.cdn.net\n"
+        "1.0,edge.cdn.net,A,60,10.1.1.1\n"
+        "2.0,plain.example,A,120,10.2.2.2\n"
+    )
+    flows = tmp_path / "flows.csv"
+    flows.write_text(
+        "ts,src,dst,bytes\n"
+        "10.0,10.1.1.1,100.64.0.1,1000\n"
+        "11.0,10.2.2.2,100.64.0.2,600\n"
+        "12.0,172.16.0.1,100.64.0.3,400\n"
+    )
+    return str(dns), str(flows)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--hours", "1"],
+            ["ablation", "--hours", "1"],
+            ["analyze", "out.tsv"],
+            ["mapping-template"],
+        ],
+    )
+    def test_known_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestMappingTemplate:
+    def test_template_is_valid_config(self, capsys):
+        assert main(["mapping-template"]) == 0
+        printed = capsys.readouterr().out
+        config = json.loads(printed)
+        from repro.core.adapter import load_mapping
+
+        dns, flow = load_mapping(config)
+        assert dns is not None and flow is not None
+
+
+class TestCorrelate:
+    def test_correlate_csv_files(self, mapping_file, csv_inputs, tmp_path, capsys):
+        dns, flows = csv_inputs
+        output = tmp_path / "out.tsv"
+        rc = main([
+            "correlate", "--dns", dns, "--flows", flows,
+            "--mapping", mapping_file, "--output", str(output),
+        ])
+        assert rc == 0
+        lines = [l for l in output.read_text().splitlines() if not l.startswith("#")]
+        assert len(lines) == 3
+        assert any("svc.example" in l for l in lines)
+        stderr = capsys.readouterr().err
+        assert "correlated 2/3 flows" in stderr
+
+    def test_correlate_jsonl(self, mapping_file, tmp_path, capsys):
+        dns = tmp_path / "dns.jsonl"
+        dns.write_text(
+            '{"ts": 1.0, "qname": "a.example", "rtype": "A", "ttl": 60, "answer": "10.5.5.5"}\n'
+        )
+        flows = tmp_path / "flows.jsonl"
+        flows.write_text('{"ts": 5.0, "src": "10.5.5.5", "dst": "100.64.0.1", "bytes": 42}\n')
+        output = tmp_path / "out.tsv"
+        rc = main([
+            "correlate", "--dns", str(dns), "--flows", str(flows),
+            "--mapping", mapping_file, "--output", str(output),
+        ])
+        assert rc == 0
+        assert "a.example" in output.read_text()
+
+    def test_mapping_without_flow_section_fails(self, tmp_path, csv_inputs, capsys):
+        dns, flows = csv_inputs
+        mapping = tmp_path / "partial.json"
+        mapping.write_text(json.dumps({
+            "dns": {"ts": "ts", "query": "qname", "rtype": "rtype",
+                    "ttl": "ttl", "answer": "answer"},
+        }))
+        rc = main([
+            "correlate", "--dns", dns, "--flows", flows, "--mapping", str(mapping),
+        ])
+        assert rc == 2
+
+
+class TestAnalyze:
+    def test_analyze_output_file(self, mapping_file, csv_inputs, tmp_path, capsys):
+        dns, flows = csv_inputs
+        output = tmp_path / "out.tsv"
+        main(["correlate", "--dns", dns, "--flows", flows,
+              "--mapping", mapping_file, "--output", str(output)])
+        capsys.readouterr()
+        rc = main(["analyze", str(output), "--top", "5"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "correlation rate" in printed
+        assert "svc.example" in printed
+
+    def test_analyze_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.tsv"
+        empty.write_text("# header only\n")
+        assert main(["analyze", str(empty)]) == 1
+
+
+class TestSimulate:
+    def test_simulate_small_run(self, tmp_path, capsys):
+        output = tmp_path / "run.tsv"
+        rc = main([
+            "simulate", "--preset", "small", "--hours", "0.3",
+            "--seed", "3", "--output", str(output),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "correlation rate" in printed
+        assert output.exists()
+
+    def test_simulate_variant(self, capsys):
+        rc = main([
+            "simulate", "--preset", "small", "--hours", "0.2",
+            "--variant", "no-rotation",
+        ])
+        assert rc == 0
+        assert "no-rotation" in capsys.readouterr().out
+
+    def test_simulate_dashboard_and_metrics(self, capsys):
+        rc = main([
+            "simulate", "--preset", "small", "--hours", "0.2",
+            "--dashboard", "--metrics",
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "small ISP / main" in printed
+        assert "flowdns_correlation_rate" in printed
+
+
+class TestFigures:
+    def test_figures_writes_tsvs(self, tmp_path, capsys, monkeypatch):
+        # Patch the preset to a tiny universe so the run stays fast.
+        import repro.cli as cli
+        from repro.workloads.isp import large_isp as real_large
+
+        def tiny_large(seed=7, duration=3600.0, **kw):
+            kw.setdefault("n_benign", 120)
+            return real_large(seed=seed, duration=min(duration, 1800.0), **kw)
+
+        monkeypatch.setattr(cli, "large_isp", tiny_large)
+        rc = main(["figures", "--out-dir", str(tmp_path), "--hours", "0.4"])
+        assert rc == 0
+        for name in ("fig2_week_usage.tsv", "fig3_variant_usage.tsv",
+                     "fig7_variant_correlation.tsv"):
+            content = (tmp_path / name).read_text()
+            assert content.startswith("#")
+            assert len(content.splitlines()) > 1

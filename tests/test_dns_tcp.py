@@ -1,0 +1,90 @@
+"""Tests for DNS-over-TCP framing (the paper's resolver→collector path)."""
+
+import pytest
+
+from repro.dns.rr import RRType, a_record
+from repro.dns.tcp import TcpFrameDecoder, frame_message, frame_messages, iter_framed
+from repro.dns.wire import DnsMessage, Question, decode_message, encode_message
+from repro.util.errors import ParseError
+
+
+def _wire(name="x.example", ip="10.0.0.1"):
+    msg = DnsMessage()
+    msg.questions.append(Question(name, RRType.A))
+    msg.answers.append(a_record(name, ip, 60))
+    return encode_message(msg)
+
+
+class TestFraming:
+    def test_frame_prefixes_length(self):
+        payload = b"hello"
+        framed = frame_message(payload)
+        assert framed == b"\x00\x05hello"
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ParseError):
+            frame_message(b"x" * 65536)
+
+    def test_frame_messages_concatenates(self):
+        stream = frame_messages([b"ab", b"cde"])
+        assert stream == b"\x00\x02ab\x00\x03cde"
+
+
+class TestDecoder:
+    def test_whole_messages_in_one_chunk(self):
+        wires = [_wire(f"h{i}.example", f"10.0.0.{i + 1}") for i in range(3)]
+        decoder = TcpFrameDecoder()
+        out = decoder.feed(frame_messages(wires))
+        assert out == wires
+        assert decoder.messages_out == 3
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        """A collector must survive arbitrarily mean chunk boundaries."""
+        wires = [_wire("a.example"), _wire("b.example", "10.0.0.2")]
+        stream = frame_messages(wires)
+        decoder = TcpFrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == wires
+        decoder.close()
+
+    def test_split_inside_length_prefix(self):
+        wire = _wire()
+        stream = frame_message(wire)
+        decoder = TcpFrameDecoder()
+        assert decoder.feed(stream[:1]) == []
+        assert decoder.feed(stream[1:]) == [wire]
+
+    def test_zero_length_frame_skipped(self):
+        decoder = TcpFrameDecoder()
+        wire = _wire()
+        out = decoder.feed(b"\x00\x00" + frame_message(wire))
+        assert out == [wire]
+
+    def test_truncated_close_raises(self):
+        decoder = TcpFrameDecoder()
+        decoder.feed(frame_message(_wire())[:5])
+        with pytest.raises(ParseError):
+            decoder.close()
+
+    def test_clean_close_ok(self):
+        decoder = TcpFrameDecoder()
+        decoder.feed(frame_message(_wire()))
+        decoder.close()
+
+
+class TestIterFramed:
+    def test_end_to_end_with_wire_decode(self):
+        wires = [_wire(f"svc{i}.example", f"10.1.0.{i + 1}") for i in range(5)]
+        stream = frame_messages(wires)
+        chunks = [stream[i : i + 7] for i in range(0, len(stream), 7)]
+        decoded = [decode_message(w) for w in iter_framed(chunks)]
+        assert len(decoded) == 5
+        assert str(decoded[2].answers[0].rdata) == "10.1.0.3"
+
+    def test_truncated_tail_raises(self):
+        stream = frame_messages([_wire()])[:-3]
+        with pytest.raises(ParseError):
+            list(iter_framed([stream]))

@@ -1,0 +1,100 @@
+"""Tests for repro.dns.validation (the paper's Section 5 rules)."""
+
+import pytest
+
+from repro.dns.validation import (
+    ViolationKind,
+    check_domain,
+    is_valid_domain,
+    offending_characters,
+)
+
+
+class TestValidNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "example.com",
+            "www.example.com",
+            "a.b",
+            "x1.y2.z3",
+            "a-b.example.org",
+            "WWW.EXAMPLE.COM",
+            "example.com.",
+        ],
+    )
+    def test_accepted(self, name):
+        assert is_valid_domain(name)
+
+    def test_root_is_valid(self):
+        assert is_valid_domain(".")
+
+
+class TestUnderscore:
+    """The paper: '_' is the disallowed character in 87% of violations."""
+
+    def test_underscore_rejected(self):
+        assert not is_valid_domain("_dmarc.example.com")
+
+    def test_underscore_reported(self):
+        assert "_" in offending_characters("_sip.example.com")
+
+    def test_violation_kind_is_bad_character(self):
+        kinds = {v.kind for v in check_domain("_x.example.com")}
+        assert ViolationKind.BAD_CHARACTER in kinds
+
+
+class TestLengthRules:
+    def test_label_64_bytes_rejected(self):
+        assert not is_valid_domain("a" * 64 + ".com")
+
+    def test_label_63_bytes_accepted(self):
+        assert is_valid_domain("a" * 63 + ".com")
+
+    def test_total_length_over_255_rejected(self):
+        name = ".".join(["a" * 62] * 4) + ".example"  # > 255 on the wire
+        violations = check_domain(name)
+        assert any(v.kind == ViolationKind.NAME_TOO_LONG for v in violations)
+
+    def test_total_length_under_255_accepted(self):
+        name = ".".join(["a" * 30] * 6)
+        assert is_valid_domain(name)
+
+
+class TestCharacterRules:
+    def test_digit_start_rejected(self):
+        # The paper's rule 3: labels start with a letter.
+        assert not is_valid_domain("4chan.org")
+
+    def test_hyphen_interior_ok(self):
+        assert is_valid_domain("my-site.example.com")
+
+    def test_hyphen_at_end_rejected(self):
+        violations = check_domain("bad-.example.com")
+        assert any(v.kind == ViolationKind.BAD_END for v in violations)
+
+    def test_hyphen_at_start_rejected(self):
+        violations = check_domain("-bad.example.com")
+        assert any(v.kind == ViolationKind.BAD_START for v in violations)
+
+    @pytest.mark.parametrize("ch", ["!", "*", "/", "=", " "])
+    def test_special_chars_rejected(self, ch):
+        assert not is_valid_domain(f"ab{ch}cd.example.com")
+
+    def test_multiple_bad_chars_all_reported(self):
+        chars = offending_characters("a_b!c.example.com")
+        assert "_" in chars and "!" in chars
+
+    def test_empty_label_rejected(self):
+        violations = check_domain("a..b.com")
+        assert any(v.kind == ViolationKind.EMPTY_LABEL for v in violations)
+
+    def test_digit_end_accepted(self):
+        assert is_valid_domain("host1.example.com")
+
+
+class TestViolationStr:
+    def test_str_mentions_kind_and_label(self):
+        violation = check_domain("_x.example.com")[0]
+        text = str(violation)
+        assert "bad-character" in text and "_x" in text

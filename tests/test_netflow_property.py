@@ -1,0 +1,76 @@
+"""Property-based tests for the NetFlow codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow.collector import FlowCollector
+from repro.netflow.exporter import FlowExporter
+from repro.netflow.ipfix import IpfixSession
+from repro.netflow.records import FlowRecord
+from repro.netflow.v9 import V9Session
+from repro.util.errors import ParseError
+from repro.netflow.v5 import decode_v5
+
+_octet = st.integers(min_value=1, max_value=254)
+_flow = st.builds(
+    FlowRecord,
+    ts=st.floats(min_value=1e6, max_value=2e6, allow_nan=False),
+    src_ip=st.tuples(_octet, _octet, _octet, _octet).map(lambda t: ".".join(map(str, t))),
+    dst_ip=st.tuples(_octet, _octet, _octet, _octet).map(lambda t: ".".join(map(str, t))),
+    src_port=st.integers(min_value=0, max_value=65535),
+    dst_port=st.integers(min_value=0, max_value=65535),
+    protocol=st.integers(min_value=0, max_value=255),
+    packets=st.integers(min_value=0, max_value=2**31),
+    bytes_=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@given(st.lists(_flow, min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_v9_export_ingest_preserves_flows(flows):
+    exporter = FlowExporter(version=9, batch_size=16)
+    collector = FlowCollector()
+    decoded = []
+    for datagram in exporter.export(flows):
+        decoded.extend(collector.ingest(datagram))
+    assert len(decoded) == len(flows)
+    for orig, back in zip(flows, decoded):
+        assert back.src_ip == orig.src_ip
+        assert back.dst_ip == orig.dst_ip
+        assert back.src_port == orig.src_port
+        assert back.bytes_ == orig.bytes_ & 0xFFFFFFFF
+
+
+@given(st.lists(_flow, min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_v5_round_trip_volume_conserved(flows):
+    exporter = FlowExporter(version=5, batch_size=30)
+    collector = FlowCollector()
+    decoded = []
+    for datagram in exporter.export(flows):
+        decoded.extend(collector.ingest(datagram))
+    assert sum(f.packets for f in decoded) == sum(f.packets & 0xFFFFFFFF for f in flows)
+
+
+@given(st.binary(min_size=0, max_size=120))
+@settings(max_examples=200)
+def test_decoders_never_crash_on_garbage(data):
+    try:
+        decode_v5(data)
+    except ParseError:
+        pass
+    try:
+        V9Session().decode(data)
+    except ParseError:
+        pass
+    try:
+        IpfixSession().decode(data)
+    except ParseError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=120))
+@settings(max_examples=100)
+def test_collector_never_raises(data):
+    collector = FlowCollector()
+    assert isinstance(collector.ingest(data), list)

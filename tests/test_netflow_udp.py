@@ -1,0 +1,73 @@
+"""Tests for the UDP flow source (loopback sockets)."""
+
+import threading
+
+from repro.netflow.exporter import FlowExporter
+from repro.netflow.records import FlowRecord
+from repro.netflow.udp import UdpFlowSource, send_datagrams
+
+
+def _flows(n):
+    return [
+        FlowRecord(ts=1000.0 + i, src_ip=f"10.3.0.{i + 1}", dst_ip="192.168.1.1",
+                   src_port=443, dst_port=50000 + i, bytes_=100 * (i + 1))
+        for i in range(n)
+    ]
+
+
+class TestUdpFlowSource:
+    def test_receives_and_decodes_datagrams(self):
+        flows = _flows(12)
+        datagrams = list(FlowExporter(version=9, batch_size=6).export(flows))
+        with UdpFlowSource() as source:
+            sender = threading.Thread(
+                target=send_datagrams, args=(datagrams, source.address)
+            )
+            received = []
+
+            def consume():
+                for flow in source:
+                    received.append(flow)
+                    if len(received) == len(flows):
+                        source.stop()
+
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            sender.start()
+            sender.join(timeout=5.0)
+            consumer.join(timeout=5.0)
+            assert not consumer.is_alive()
+        assert len(received) == 12
+        assert {str(f.src_ip) for f in received} == {str(f.src_ip) for f in flows}
+
+    def test_garbage_datagrams_counted_not_fatal(self):
+        with UdpFlowSource() as source:
+            send_datagrams([b"\xff" * 20], source.address)
+            datagram = source.recv_once()
+            assert datagram is not None
+            assert source.collector.ingest(datagram) == []
+            assert source.collector.stats.unknown_version + source.collector.stats.malformed == 1
+
+    def test_recv_once_times_out(self):
+        with UdpFlowSource(recv_timeout=0.05) as source:
+            assert source.recv_once() is None
+
+    def test_stop_terminates_iteration(self):
+        with UdpFlowSource(recv_timeout=0.05) as source:
+            collected = []
+
+            def consume():
+                collected.extend(source)
+
+            t = threading.Thread(target=consume)
+            t.start()
+            source.stop()
+            t.join(timeout=2.0)
+            assert not t.is_alive()
+            assert collected == []
+
+    def test_ephemeral_port_assigned(self):
+        with UdpFlowSource() as source:
+            host, port = source.address
+            assert host == "127.0.0.1"
+            assert port > 0

@@ -1,0 +1,100 @@
+"""Tests for storage snapshot/restore."""
+
+import io
+
+import pytest
+
+from repro.core.config import FlowDNSConfig
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.storage.snapshot import dump_storage, load_storage
+from repro.util.errors import ParseError
+
+
+def _filled_storage():
+    storage = DnsStorage(FlowDNSConfig())
+    records = [
+        DnsRecord(0.0, "a.example", RRType.A, 60, "10.1.1.1"),
+        DnsRecord(0.0, "long.example", RRType.A, 86400, "10.2.2.2"),
+        DnsRecord(0.0, "www.svc.com", RRType.CNAME, 600, "edge.cdn.net"),
+    ]
+    for rec in records:
+        storage.add_record(rec)
+    # Force one rotation so the inactive tier is populated too.
+    storage.ip_bank.force_clear_up()
+    storage.add_record(DnsRecord(10.0, "b.example", RRType.A, 60, "10.3.3.3"))
+    return storage
+
+
+class TestRoundTrip:
+    def test_dump_and_restore_preserves_entries(self):
+        original = _filled_storage()
+        buffer = io.StringIO()
+        written = dump_storage(original, buffer)
+        assert written == original.total_entries()
+
+        restored = DnsStorage(FlowDNSConfig())
+        buffer.seek(0)
+        loaded = load_storage(restored, buffer)
+        assert loaded == original.total_entries()
+        assert restored.entry_counts() == original.entry_counts()
+
+    def test_restored_lookups_work_across_tiers(self):
+        original = _filled_storage()
+        buffer = io.StringIO()
+        dump_storage(original, buffer)
+        restored = DnsStorage(FlowDNSConfig())
+        buffer.seek(0)
+        load_storage(restored, buffer)
+        # Active tier entry.
+        assert restored.lookup_ip("10.3.3.3", now=20.0) == "b.example"
+        # Inactive tier entry (rotated before dump).
+        assert restored.lookup_ip("10.1.1.1", now=20.0) == "a.example"
+        # Long tier entry.
+        assert restored.lookup_ip("10.2.2.2", now=20.0) == "long.example"
+        # CNAME bank.
+        assert restored.lookup_cname("edge.cdn.net", now=20.0) == "www.svc.com"
+
+    def test_clear_up_clock_preserved(self):
+        original = DnsStorage(FlowDNSConfig())
+        original.add_record(DnsRecord(1000.0, "a.example", RRType.A, 60, "10.1.1.1"))
+        buffer = io.StringIO()
+        dump_storage(original, buffer)
+        restored = DnsStorage(FlowDNSConfig())
+        buffer.seek(0)
+        load_storage(restored, buffer)
+        # A put within the same interval must NOT trigger a rotation.
+        restored.add_record(DnsRecord(2000.0, "b.example", RRType.A, 60, "10.2.2.2"))
+        assert restored.ip_bank.stats.rotations == 0
+        # One past the interval must.
+        restored.add_record(DnsRecord(5000.0, "c.example", RRType.A, 60, "10.3.3.3"))
+        assert restored.ip_bank.stats.rotations == 1
+
+
+class TestErrors:
+    def test_exact_ttl_storage_rejected(self):
+        storage = DnsStorage(FlowDNSConfig(exact_ttl=True))
+        with pytest.raises(ParseError):
+            dump_storage(storage, io.StringIO())
+        with pytest.raises(ParseError):
+            load_storage(storage, io.StringIO("{}"))
+
+    def test_bad_json_rejected(self):
+        storage = DnsStorage(FlowDNSConfig())
+        with pytest.raises(ParseError):
+            load_storage(storage, io.StringIO("{broken"))
+
+    def test_wrong_version_rejected(self):
+        storage = DnsStorage(FlowDNSConfig())
+        with pytest.raises(ParseError):
+            load_storage(storage, io.StringIO('{"version": 99}'))
+
+    def test_split_mismatch_rejected(self):
+        original = _filled_storage()
+        buffer = io.StringIO()
+        dump_storage(original, buffer)
+        buffer.seek(0)
+        incompatible = DnsStorage(FlowDNSConfig(num_split=3))
+        with pytest.raises(ParseError):
+            load_storage(incompatible, buffer)

@@ -1,0 +1,127 @@
+"""Tests for repro.streams.buffer (the loss point of the whole system)."""
+
+import threading
+
+import pytest
+
+from repro.streams.buffer import BoundedBuffer
+from repro.util.errors import ConfigError, StreamClosed
+
+
+class TestPushPop:
+    def test_fifo_order(self):
+        buf = BoundedBuffer(10)
+        for i in range(5):
+            buf.push(i)
+        assert [buf.pop(timeout=0.01) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_timeout_returns_none(self):
+        assert BoundedBuffer(1).pop(timeout=0.01) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            BoundedBuffer(0)
+
+    def test_len(self):
+        buf = BoundedBuffer(10)
+        buf.push_many(range(3))
+        assert len(buf) == 3
+
+
+class TestOverflowDrops:
+    """Section 2: 'If that buffer overflows, the streams start to drop data.'"""
+
+    def test_overflow_drops_incoming(self):
+        buf = BoundedBuffer(3)
+        results = [buf.push(i) for i in range(5)]
+        assert results == [True, True, True, False, False]
+        assert buf.stats.dropped == 2
+        # Queued records are untouched by the drop.
+        assert buf.pop(timeout=0.01) == 0
+
+    def test_loss_rate(self):
+        buf = BoundedBuffer(2)
+        buf.push_many(range(10))
+        assert buf.stats.offered == 10
+        assert buf.stats.accepted == 2
+        assert abs(buf.stats.loss_rate - 0.8) < 1e-9
+
+    def test_no_loss_when_drained(self):
+        buf = BoundedBuffer(4)
+        for i in range(16):
+            buf.push(i)
+            buf.pop(timeout=0.01)
+        assert buf.stats.loss_rate == 0.0
+
+    def test_high_watermark(self):
+        buf = BoundedBuffer(10)
+        buf.push_many(range(7))
+        buf.pop_batch(5)
+        buf.push_many(range(3))
+        assert buf.stats.high_watermark == 7
+
+    def test_fill_fraction(self):
+        buf = BoundedBuffer(4)
+        buf.push_many(range(2))
+        assert buf.fill_fraction == 0.5
+
+
+class TestClose:
+    def test_pop_after_close_drains_then_none(self):
+        buf = BoundedBuffer(10)
+        buf.push_many(range(2))
+        buf.close()
+        assert buf.pop() == 0
+        assert buf.pop() == 1
+        assert buf.pop() is None
+
+    def test_push_after_close_raises(self):
+        buf = BoundedBuffer(1)
+        buf.close()
+        with pytest.raises(StreamClosed):
+            buf.push(1)
+
+    def test_close_wakes_blocked_consumer(self):
+        buf = BoundedBuffer(1)
+        results = []
+
+        def consumer():
+            results.append(buf.pop(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        buf.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert results == [None]
+
+
+class TestConcurrency:
+    def test_producer_consumer_counts(self):
+        buf = BoundedBuffer(64)
+        consumed = []
+
+        def consumer():
+            while True:
+                item = buf.pop(timeout=0.5)
+                if item is None:
+                    return
+                consumed.append(item)
+
+        threads = [threading.Thread(target=consumer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(1000):
+            buf.push(i)
+        buf.close()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(consumed) + buf.stats.dropped == 1000
+        assert buf.stats.popped == len(consumed)
+
+    def test_pop_batch(self):
+        buf = BoundedBuffer(100)
+        buf.push_many(range(10))
+        assert buf.pop_batch(4) == [0, 1, 2, 3]
+        assert buf.pop_batch(100) == [4, 5, 6, 7, 8, 9]
+        assert buf.pop_batch(5) == []

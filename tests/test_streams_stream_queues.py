@@ -1,0 +1,169 @@
+"""Tests for repro.streams.stream and repro.streams.queues."""
+
+import threading
+
+import pytest
+
+from repro.streams.queues import ShardedQueues, WorkerQueue
+from repro.streams.stream import RecordStream, StreamSet, interleave_streams, take
+from repro.util.errors import ConfigError, StreamClosed
+
+
+class _Rec:
+    def __init__(self, ts):
+        self.ts = ts
+
+
+class TestRecordStream:
+    def test_pump_moves_records(self):
+        stream = RecordStream("s", iter(range(10)), capacity=100)
+        assert stream.pump(4) == 4
+        assert len(stream.buffer) == 4
+
+    def test_exhaustion_closes_buffer(self):
+        stream = RecordStream("s", iter(range(3)), capacity=10)
+        stream.pump(10)
+        assert stream.exhausted
+        assert stream.buffer.closed
+
+    def test_drained(self):
+        stream = RecordStream("s", iter(range(2)), capacity=10)
+        stream.pump(10)
+        assert not stream.drained
+        stream.buffer.pop_batch(10)
+        assert stream.drained
+
+    def test_pump_respects_buffer_overflow(self):
+        stream = RecordStream("s", iter(range(100)), capacity=5)
+        moved = stream.pump(50)
+        assert moved == 50
+        assert stream.buffer.stats.dropped == 45
+
+
+class TestStreamSet:
+    def test_requires_streams(self):
+        with pytest.raises(ConfigError):
+            StreamSet([])
+
+    def test_aggregates_loss(self):
+        streams = [RecordStream(f"s{i}", iter(range(20)), capacity=5) for i in range(2)]
+        group = StreamSet(streams)
+        group.pump_round_robin(40)
+        assert group.offered == 40
+        assert group.dropped == 30
+        assert abs(group.loss_rate - 0.75) < 1e-9
+
+    def test_round_robin_fair_budget(self):
+        streams = [RecordStream(f"s{i}", iter(range(100)), capacity=100) for i in range(4)]
+        group = StreamSet(streams)
+        group.pump_round_robin(40)
+        sizes = [len(s.buffer) for s in streams]
+        assert sizes == [10, 10, 10, 10]
+
+    def test_drained_all(self):
+        streams = [RecordStream("a", iter([]), capacity=4)]
+        group = StreamSet(streams)
+        group.pump_round_robin(10)
+        assert group.drained
+
+
+class TestInterleave:
+    def test_merges_by_timestamp(self):
+        a = [_Rec(1), _Rec(4), _Rec(6)]
+        b = [_Rec(2), _Rec(3), _Rec(7)]
+        merged = [r.ts for r in interleave_streams([a, b])]
+        assert merged == [1, 2, 3, 4, 6, 7]
+
+    def test_custom_key(self):
+        merged = list(interleave_streams([[1, 5], [2, 3]], key=lambda x: x))
+        assert merged == [1, 2, 3, 5]
+
+
+class TestTake:
+    def test_takes_n(self):
+        assert take(iter(range(100)), 3) == [0, 1, 2]
+
+    def test_short_source(self):
+        assert take(iter(range(2)), 5) == [0, 1]
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigError):
+            take([], -1)
+
+
+class TestWorkerQueue:
+    def test_fifo(self):
+        q = WorkerQueue()
+        q.push(1)
+        q.push(2)
+        assert q.pop(timeout=0.01) == 1
+        assert q.pop(timeout=0.01) == 2
+
+    def test_close_semantics(self):
+        q = WorkerQueue()
+        q.push(1)
+        q.close()
+        assert q.pop() == 1
+        assert q.pop() is None
+        with pytest.raises(StreamClosed):
+            q.push(2)
+
+    def test_pop_nowait(self):
+        q = WorkerQueue()
+        assert q.pop_nowait() is None
+        q.push("x")
+        assert q.pop_nowait() == "x"
+
+    def test_counters(self):
+        q = WorkerQueue()
+        for i in range(5):
+            q.push(i)
+        q.pop_nowait()
+        assert q.pushed == 5 and q.popped == 1 and len(q) == 4
+
+    def test_concurrent_producers(self):
+        q = WorkerQueue()
+
+        def producer(base):
+            for i in range(100):
+                q.push(base + i)
+
+        threads = [threading.Thread(target=producer, args=(i * 1000,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert q.pushed == 400
+        assert len(q) == 400
+
+
+class TestShardedQueues:
+    def test_shard_count_positive(self):
+        with pytest.raises(ConfigError):
+            ShardedQueues(0)
+
+    def test_routing_is_stable(self):
+        queues = ShardedQueues(4, router=lambda item: item)
+        queues.push(5)
+        queues.push(9)  # 9 % 4 == 1 == 5 % 4
+        assert len(queues.shards[1]) == 2
+
+    def test_single_shard_degrades_to_one_queue(self):
+        queues = ShardedQueues(1, router=lambda item: hash(item))
+        for i in range(10):
+            queues.push(i)
+        assert len(queues.shards[0]) == 10
+
+    def test_aggregate_counters(self):
+        queues = ShardedQueues(3, router=lambda item: item)
+        for i in range(9):
+            queues.push(i)
+        assert queues.pushed == 9
+        queues.shards[0].pop_nowait()
+        assert queues.popped == 1
+
+    def test_close_closes_all(self):
+        queues = ShardedQueues(2)
+        queues.close()
+        with pytest.raises(StreamClosed):
+            queues.push("x")

@@ -1,0 +1,57 @@
+"""Tests for repro.util.clock."""
+
+import time
+
+import pytest
+
+from repro.util.clock import SimClock, SystemClock
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(100.0).now() == 100.0
+
+    def test_default_start_is_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(50.0)
+        assert clock.now() == 50.0
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = SimClock(100.0)
+        clock.advance_to(10.0)
+        assert clock.now() == 100.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_by_accumulates(self):
+        clock = SimClock()
+        clock.advance_by(10.0)
+        clock.advance_by(2.5)
+        assert clock.now() == 12.5
+
+    def test_advance_by_negative_raises(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-1.0)
+
+    def test_repr_mentions_time(self):
+        assert "3.000" in repr(SimClock(3.0))
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        before = time.time()
+        now = clock.now()
+        after = time.time()
+        assert before <= now <= after
+
+    def test_advance_to_is_noop(self):
+        clock = SystemClock()
+        clock.advance_to(0.0)  # must not raise or affect anything
+        assert clock.now() >= 0.0

@@ -1,0 +1,53 @@
+"""Tests for the two-website accuracy capture (Section 4)."""
+
+import pytest
+
+from repro.workloads.pcaplike import two_site_capture
+
+
+class TestCaptureShape:
+    def test_different_ips_scenario(self):
+        capture = two_site_capture(same_ip=False)
+        ips = {r.answer for r in capture.dns_records}
+        assert len(ips) == 2
+
+    def test_same_ip_scenario(self):
+        capture = two_site_capture(same_ip=True)
+        ips = {r.answer for r in capture.dns_records}
+        assert len(ips) == 1
+
+    def test_flow_count(self):
+        capture = two_site_capture(same_ip=False, flows_per_site=10)
+        assert len(capture.flow_records) == 20
+
+    def test_truth_covers_all_flows(self):
+        capture = two_site_capture(same_ip=False)
+        assert set(capture.truth.keys()) == set(range(len(capture.flow_records)))
+
+    def test_deterministic(self):
+        a = two_site_capture(same_ip=True, seed=5)
+        b = two_site_capture(same_ip=True, seed=5)
+        assert a.flow_records == b.flow_records
+
+    def test_dns_precedes_flows(self):
+        capture = two_site_capture(same_ip=False)
+        last_dns = max(r.ts for r in capture.dns_records)
+        first_flow = min(f.ts for f in capture.flow_records)
+        assert last_dns < first_flow
+
+
+class TestAccuracyOf:
+    def test_perfect_prediction(self):
+        capture = two_site_capture(same_ip=False)
+        predicted = [capture.truth[i] for i in range(len(capture.flow_records))]
+        assert capture.accuracy_of(predicted) == 1.0
+
+    def test_all_wrong(self):
+        capture = two_site_capture(same_ip=False)
+        predicted = ["nope.example"] * len(capture.flow_records)
+        assert capture.accuracy_of(predicted) == 0.0
+
+    def test_length_mismatch_raises(self):
+        capture = two_site_capture(same_ip=False)
+        with pytest.raises(ValueError):
+            capture.accuracy_of(["x"])

@@ -1,0 +1,176 @@
+"""Tests for the domain universe and CDN hosting model."""
+
+import random
+
+import pytest
+
+from repro.dns.rr import RRType
+from repro.util.errors import ConfigError
+from repro.workloads.cdn import (
+    ORIGIN_PROVIDER,
+    CdnHosting,
+    CdnProvider,
+    default_providers,
+)
+from repro.workloads.domains import CHAIN_LENGTH_WEIGHTS, build_universe
+from repro.workloads.ttl_model import TtlModel
+
+
+class TestBuildUniverse:
+    def test_deterministic(self):
+        a = build_universe(seed=1, n_benign=100)
+        b = build_universe(seed=1, n_benign=100)
+        assert [s.name for s in a.services] == [s.name for s in b.services]
+
+    def test_seed_changes_universe(self):
+        a = build_universe(seed=1, n_benign=100)
+        b = build_universe(seed=2, n_benign=100)
+        assert [s.name for s in a.services] != [s.name for s in b.services]
+
+    def test_streaming_services_pinned(self):
+        universe = build_universe(seed=1, n_benign=100)
+        names = [s.name for s in universe.services[:2]]
+        assert names == ["s1-streaming.tv", "s2-streaming.tv"]
+        assert universe.services[0].cdn == "stream-cdn-1"
+        assert universe.services[1].cdn == "stream-cdn-2"
+
+    def test_zipf_popularity_head_heavy(self):
+        universe = build_universe(seed=1, n_benign=500)
+        rng = random.Random(0)
+        draws = [universe.sample_service(rng).name for _ in range(5000)]
+        top = sum(1 for d in draws if d in {s.name for s in universe.services[:10]})
+        assert top > len(draws) * 0.2
+
+    def test_abuse_services_present_with_small_byte_share(self):
+        universe = build_universe(seed=1, n_benign=1000)
+        by_cat = universe.by_category()
+        for category in ("spam", "botnet", "malware", "phish", "abused-redirector", "mal-formatted"):
+            assert category in by_cat
+        abuse_bytes = sum(
+            s.byte_weight for s in universe.services if s.category != "benign"
+        )
+        total = sum(s.byte_weight for s in universe.services)
+        assert 0.002 < abuse_bytes / total < 0.01  # the paper's ~0.5 %
+
+    def test_origin_hosted_marked(self):
+        universe = build_universe(seed=1, n_benign=1000)
+        origin = [s for s in universe.services if s.origin_hosted]
+        assert origin
+        assert all(s.origin_hosted for s in universe.services if s.long_lived)
+        assert all(s.origin_hosted for s in universe.services if s.category != "benign")
+
+    def test_too_small_universe_rejected(self):
+        with pytest.raises(ConfigError):
+            build_universe(seed=1, n_benign=2, streaming_services=2)
+
+    def test_service_named(self):
+        universe = build_universe(seed=1, n_benign=100)
+        assert universe.service_named("s1-streaming.tv").name == "s1-streaming.tv"
+        with pytest.raises(KeyError):
+            universe.service_named("nope.example")
+
+    def test_chain_weights_sum_to_one(self):
+        assert abs(sum(w for _, w in CHAIN_LENGTH_WEIGHTS) - 1.0) < 1e-6
+
+
+class TestCdnProvider:
+    def test_pool_respects_prefixes(self):
+        import ipaddress
+
+        provider = default_providers()[1]  # stream-cdn-1
+        rng = random.Random(0)
+        v4, v6 = provider.build_pools(rng)
+        nets = [ipaddress.ip_network(c) for c, _ in provider.v4_prefixes]
+        for ip in v4:
+            assert any(ipaddress.ip_address(ip) in net for net in nets)
+
+    def test_pool_capped_at_prefix_capacity(self):
+        provider = CdnProvider(
+            name="tiny",
+            v4_prefixes=(("192.0.2.0/29", 64999),),
+            v6_prefixes=(),
+            pool_size_v4=1000,
+        )
+        v4, _ = provider.build_pools(random.Random(0))
+        assert len(v4) <= 6  # /29 minus network/broadcast
+
+    def test_asn_for(self):
+        provider = default_providers()[2]  # stream-cdn-2, two ASes
+        asns = {provider.asn_for(ip) for ip in ("192.0.2.1", "192.0.2.200")}
+        assert asns == {64511, 64512}
+        assert provider.asn_for("8.8.8.8") is None
+
+    def test_origin_provider_exists(self):
+        names = [p.name for p in default_providers()]
+        assert ORIGIN_PROVIDER in names
+        assert "stream-cdn-1" in names and "stream-cdn-2" in names
+
+
+class TestCdnHosting:
+    @pytest.fixture(scope="class")
+    def hosting(self):
+        universe = build_universe(seed=3, n_benign=300)
+        return CdnHosting(universe, default_providers(), seed=3, ttl_model=TtlModel())
+
+    def test_streaming_services_on_their_cdns(self, hosting):
+        assert hosting.provider_of("s1-streaming.tv").name == "stream-cdn-1"
+        assert hosting.provider_of("s2-streaming.tv").name == "stream-cdn-2"
+
+    def test_origin_hosted_on_origin_provider(self, hosting):
+        for service in hosting.universe.services:
+            if service.origin_hosted:
+                assert hosting.provider_of(service.name).name == ORIGIN_PROVIDER
+
+    def test_chain_structure(self, hosting):
+        for service in hosting.universe.services[:50]:
+            chain = hosting.chain_of(service.name)
+            assert chain[0] == service.name
+            assert len(chain) == service.chain_length
+
+    def test_resolution_records_match_chain(self, hosting):
+        rng = random.Random(1)
+        service = hosting.universe.services[0]
+        resolution = hosting.resolve(service, ts=100.0, rng=rng)
+        records = resolution.records()
+        cnames = [r for r in records if r.is_cname]
+        addresses = [r for r in records if r.is_address]
+        assert len(cnames) == len(resolution.chain) - 1
+        assert len(addresses) == len(resolution.ips)
+        assert all(r.query == resolution.chain[-1] for r in addresses)
+
+    def test_resolution_ip_in_provider_pool(self, hosting):
+        import ipaddress
+
+        rng = random.Random(2)
+        service = hosting.universe.services[0]
+        provider = hosting.provider_of(service.name)
+        for _ in range(20):
+            resolution = hosting.resolve(service, ts=0.0, rng=rng)
+            assert provider.asn_for(resolution.ip) is not None
+
+    def test_long_lived_service_gets_long_ttl(self, hosting):
+        rng = random.Random(3)
+        long_services = [s for s in hosting.universe.services if s.long_lived]
+        assert long_services
+        resolution = hosting.resolve(long_services[0], ts=0.0, rng=rng)
+        assert resolution.a_ttl >= 3600
+
+    def test_aaaa_fraction_respected(self, hosting):
+        rng = random.Random(4)
+        service = hosting.universe.services[0]
+        types = [hosting.resolve(service, 0.0, rng).rtype for _ in range(400)]
+        aaaa_share = sum(1 for t in types if t == RRType.AAAA) / len(types)
+        assert 0.15 < aaaa_share < 0.35
+
+    def test_ephemeral_names_unique(self, hosting):
+        rng = random.Random(5)
+        service = next(
+            s for s in hosting.universe.services if s.chain_length > 1
+        )
+        edges = {hosting.resolve(service, 0.0, rng).chain[-1] for _ in range(200)}
+        assert len(edges) > 10  # session-token edge names appear
+
+    def test_rib_entries_cover_providers(self, hosting):
+        entries = hosting.rib_entries()
+        asns = {asn for _prefix, asn in entries}
+        assert {64501, 64511, 64512, 64800} <= asns
