@@ -11,7 +11,6 @@ both choices:
   batch, documenting where Python's GIL flattens the curve.
 """
 
-import time
 
 import pytest
 
@@ -19,7 +18,7 @@ from conftest import print_rows
 
 from repro.analysis import run_variant
 from repro.core.config import FlowDNSConfig
-from repro.core.engine import ThreadedEngine
+from repro.core.engine import ThreadedEngine, gated_flow_source
 from repro.core.variants import Variant
 from repro.dns.rr import RRType
 from repro.dns.stream import DnsRecord
@@ -73,17 +72,15 @@ def test_threaded_worker_scaling(benchmark, workers):
         for i in range(8000)
     ]
 
-    class Delayed:
-        def __iter__(self):
-            time.sleep(0.2)
-            return iter(flows)
-
     def run():
         config = FlowDNSConfig(
             lookup_workers_per_stream=workers, fillup_workers_per_stream=1
         )
         engine = ThreadedEngine(config)
-        return engine.run([list(dns)], [Delayed()])
+        # Flows held until FillUp has drained the DNS stream, so matched
+        # counts are deterministic at any lookup speed.
+        gated = gated_flow_source(engine, flows, timeout=30.0, poll=0.002)
+        return engine.run([list(dns)], [gated])
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     assert report.flow_records == len(flows)

@@ -4,13 +4,21 @@ The paper's Go implementation sustains ~1M Netflow records/s plus 75K
 DNS records/s on 128 cores. This bench measures what the pure-Python
 pipeline sustains (the reproduction band predicted exactly this gap) so
 EXPERIMENTS.md can report it, and uses real pytest-benchmark timing.
+
+Three pipeline shapes are compared on identical fixtures: the per-record
+path (one call, one lock round-trip per record), the batched path
+(``correlate_batch``/``process_batch``, the engines' fast path), and the
+multiprocessing :class:`ShardedEngine`.
 """
+
+import time
 
 import pytest
 
 from repro.core.config import FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import LookUpProcessor
+from repro.core.sharded import ShardedEngine
 from repro.core.simulation import SimulationEngine
 from repro.core.storage_adapter import DnsStorage
 from repro.dns.rr import RRType
@@ -62,6 +70,88 @@ def test_lookup_throughput(benchmark, prepared_records):
     assert matched == len(flows)
 
 
+def test_fillup_batched_throughput(benchmark, prepared_records):
+    dns, _flows = prepared_records
+
+    def fill():
+        processor = FillUpProcessor(DnsStorage(FlowDNSConfig()))
+        processor.process_batch(dns)
+        return processor.stats.records_stored
+
+    stored = benchmark(fill)
+    assert stored == len(dns)
+
+
+def test_lookup_batched_throughput(benchmark, prepared_records):
+    dns, flows = prepared_records
+    storage = DnsStorage(FlowDNSConfig())
+    FillUpProcessor(storage).process_batch(dns)
+
+    def look():
+        processor = LookUpProcessor(storage, FlowDNSConfig())
+        processor.correlate_batch(flows)
+        return processor.stats.matched
+
+    matched = benchmark(look)
+    assert matched == len(flows)
+
+
+def test_batched_beats_per_record(prepared_records):
+    """Acceptance gate: the batched path must be ≥2× the per-record path.
+
+    Measured directly (best of three) rather than via pytest-benchmark so
+    the ratio survives ``--benchmark-disable`` smoke runs.
+    """
+    dns, flows = prepared_records
+    storage = DnsStorage(FlowDNSConfig())
+    FillUpProcessor(storage).process_batch(dns)
+
+    # Best-of-5 against a >=2x bar with a ~5-10x measured margin, so a
+    # noisy shared CI runner has to be wrong five times in a row to flake.
+    def timed(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def per_record():
+        processor = LookUpProcessor(storage, FlowDNSConfig())
+        for flow in flows:
+            processor.process(flow)
+
+    def batched():
+        processor = LookUpProcessor(storage, FlowDNSConfig())
+        processor.correlate_batch(flows)
+
+    t_single = timed(per_record)
+    t_batch = timed(batched)
+    assert t_single / t_batch >= 2.0, (
+        f"batched path only {t_single / t_batch:.2f}x faster "
+        f"({t_single:.3f}s vs {t_batch:.3f}s)"
+    )
+
+
+def test_sharded_engine_throughput(benchmark, prepared_records):
+    """ShardedEngine over the same fixtures, with a merged-report check.
+
+    On a single-core host the process fan-out cannot beat the in-process
+    batched path; this documents the IPC overhead and guards correctness
+    of the merged counters (same matched totals as the flat fixtures).
+    """
+    dns, flows = prepared_records
+
+    def run():
+        engine = ShardedEngine(FlowDNSConfig(), num_shards=2)
+        return engine.run([dns], [flows], dns_first=True)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.flow_records == len(flows)
+    assert report.matched_flows == len(flows)
+    assert report.dns_records == len(dns)
+
+
 def test_simulation_engine_throughput(benchmark, prepared_records):
     dns, flows = prepared_records
 
@@ -74,5 +164,7 @@ def test_simulation_engine_throughput(benchmark, prepared_records):
     # Document the gap: Python is orders of magnitude below 1M rec/s/core;
     # anything above 10K rec/s here confirms the pipeline is usable for
     # offline replay while the paper's rates need the Go implementation.
-    events = len(dns) + len(flows)
-    assert events / max(benchmark.stats["mean"], 1e-9) > 10_000
+    # (stats is None under --benchmark-disable smoke runs.)
+    if benchmark.stats is not None:
+        events = len(dns) + len(flows)
+        assert events / max(benchmark.stats["mean"], 1e-9) > 10_000

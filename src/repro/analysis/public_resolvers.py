@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Optional
 
 from repro.netflow.records import FlowRecord
 
@@ -73,7 +73,7 @@ def is_dns_flow(flow: FlowRecord) -> bool:
 
 def estimate_coverage(
     flows: Iterable[FlowRecord],
-    resolvers: PublicResolverList = None,
+    resolvers: Optional[PublicResolverList] = None,
 ) -> CoverageReport:
     """Run the Section 4 coverage estimation over a flow sample.
 

@@ -9,7 +9,7 @@ formatter that prints ``paper=<x> measured=<y>`` lines.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import FlowDNSConfig
@@ -49,7 +49,7 @@ class VariantRun:
 def run_variant(
     workload: IspWorkload,
     variant: Variant,
-    base_config: FlowDNSConfig = None,
+    base_config: Optional[FlowDNSConfig] = None,
     sample_interval: float = 3600.0,
     on_result=None,
     drop_warmup: bool = True,

@@ -12,7 +12,6 @@ from __future__ import annotations
 import ipaddress
 from typing import Generic, Iterator, List, Optional, Tuple, TypeVar, Union
 
-from repro.util.errors import ConfigError
 
 V = TypeVar("V")
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]

@@ -9,7 +9,7 @@ longest-prefix matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.bgp.prefix_trie import PrefixTrie

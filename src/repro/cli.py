@@ -25,7 +25,13 @@ from collections import defaultdict
 from repro.core.adapter import iter_csv, iter_jsonl, load_mapping_file
 from repro.core.config import FlowDNSConfig
 from repro.core.simulation import SimulationEngine
-from repro.core.variants import FIGURE3_VARIANTS, Variant, config_for
+from repro.core.variants import (
+    ENGINE_VARIANTS,
+    FIGURE3_VARIANTS,
+    Variant,
+    config_for,
+    engine_for,
+)
 from repro.core.writer import parse_result_line
 from repro.dns.validation import is_valid_domain
 from repro.util.units import format_bytes
@@ -124,7 +130,38 @@ def _add_correlate(subparsers) -> None:
     p.add_argument("--mapping", required=True, help="field-mapping JSON config")
     p.add_argument("--output", default="-", help="output TSV ('-' = stdout)")
     p.add_argument("--num-split", type=int, default=10)
+    p.add_argument(
+        "--engine", choices=sorted(ENGINE_VARIANTS), default="simulation",
+        help="engine variant: " + "; ".join(
+            f"{name} = {desc}" for name, desc in sorted(ENGINE_VARIANTS.items())
+        ),
+    )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes for --engine sharded (default: CPU count)",
+    )
     p.set_defaults(func=cmd_correlate)
+
+
+def _gated_flow_source(engine, flow_records, timeout=300.0):
+    """Gate the flow source behind fill completion for the threaded engine.
+
+    The threaded engine consumes its sources concurrently; offline
+    correlation wants every DNS record ingested before flows are looked
+    up, so the flow source blocks until the FillUp workers have drained
+    the DNS side (bounded by ``timeout`` as a hang safeguard).
+    """
+    from repro.core.engine import gated_flow_source
+
+    def warn():
+        print(
+            f"warning: DNS fill still running after {timeout:.0f}s; "
+            "correlating against a partially-filled store "
+            "(match counts may be low)",
+            file=sys.stderr,
+        )
+
+    return gated_flow_source(engine, flow_records, timeout=timeout, on_timeout=warn)
 
 
 def _open_rows(path):
@@ -135,6 +172,9 @@ def _open_rows(path):
 
 
 def cmd_correlate(args) -> int:
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
     dns_adapter, flow_adapter = load_mapping_file(args.mapping)
     if dns_adapter is None or flow_adapter is None:
         print("mapping config must define both 'dns' and 'flow' sections",
@@ -145,14 +185,23 @@ def cmd_correlate(args) -> int:
     flow_handle, flow_rows = _open_rows(args.flows)
     sink = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
     try:
-        engine = SimulationEngine(
-            FlowDNSConfig(num_split=args.num_split),
-            sink=sink,
-        )
-        report = engine.run(
-            dns_adapter.adapt_many(dns_rows),
-            flow_adapter.adapt_many(flow_rows),
-        )
+        config = FlowDNSConfig(num_split=args.num_split)
+        dns_records = dns_adapter.adapt_many(dns_rows)
+        flow_records = flow_adapter.adapt_many(flow_rows)
+        if args.engine == "simulation":
+            engine = SimulationEngine(config, sink=sink)
+            report = engine.run(dns_records, flow_records)
+        elif args.engine == "sharded":
+            engine = engine_for(
+                args.engine, config=config, sink=sink, num_shards=args.shards
+            )
+            # dns_first gives the hard DNS-before-flows ordering offline
+            # correlation expects (per-shard FIFO queues).
+            report = engine.run([dns_records], [flow_records], dns_first=True)
+        else:
+            engine = engine_for(args.engine, config=config, sink=sink)
+            flow_source = _gated_flow_source(engine, flow_records)
+            report = engine.run([dns_records], [flow_source])
     finally:
         dns_handle.close()
         flow_handle.close()

@@ -7,7 +7,10 @@ The pipeline (Figure 1) is assembled from:
   storage behind one facade;
 * :class:`FillUpProcessor` / :class:`LookUpProcessor` — the record-level
   worker logic (Algorithms 1 and 2);
-* :class:`ThreadedEngine` — real threads, real buffers, Python-scale;
+* :class:`ThreadedEngine` — real threads, real buffers, batched worker
+  loops, Python-scale;
+* :class:`ShardedEngine` — worker processes over hash-partitioned
+  storage, multi-core scale;
 * :class:`SimulationEngine` — deterministic replay with a calibrated
   resource model, deployment-scale figures;
 * :class:`Variant` — the paper's ablation benchmarks.
@@ -33,9 +36,17 @@ from repro.core.metrics import (
     IntervalCounters,
     IntervalSample,
 )
+from repro.core.sharded import ShardedEngine
 from repro.core.simulation import SimulationEngine
 from repro.core.storage_adapter import DnsStorage
-from repro.core.variants import FIGURE3_VARIANTS, FIGURE7_VARIANTS, Variant, config_for
+from repro.core.variants import (
+    ENGINE_VARIANTS,
+    FIGURE3_VARIANTS,
+    FIGURE7_VARIANTS,
+    Variant,
+    config_for,
+    engine_for,
+)
 from repro.core.writer import (
     DiscardSink,
     WriteWorker,
@@ -47,7 +58,10 @@ __all__ = [
     "FlowDNS",
     "FlowDNSConfig",
     "ThreadedEngine",
+    "ShardedEngine",
     "SimulationEngine",
+    "ENGINE_VARIANTS",
+    "engine_for",
     "DnsStorage",
     "FillUpProcessor",
     "FillUpStats",

@@ -61,6 +61,10 @@ class FlowDNSConfig:
     stream_buffer_capacity: int = 65536
     map_shard_count: int = 32
     memoize_cname_chains: bool = True
+    #: Records drained per worker wake-up on the batched fast path. Larger
+    #: batches amortise lock round-trips and deduplicate repeated lookup
+    #: IPs better, at the cost of coarser rotation/tick granularity.
+    engine_batch_size: int = 2048
 
     def __post_init__(self):
         if self.a_clear_up_interval <= 0 or self.c_clear_up_interval <= 0:
@@ -77,6 +81,8 @@ class FlowDNSConfig:
             raise ConfigError("stream_buffer_capacity must be at least 1")
         if self.exact_ttl_sweep_interval <= 0:
             raise ConfigError("exact_ttl_sweep_interval must be positive")
+        if self.engine_batch_size < 1:
+            raise ConfigError("engine_batch_size must be at least 1")
 
     @property
     def effective_num_split(self) -> int:

@@ -8,6 +8,11 @@ Faithful to the paper's worker architecture:
 * LookUp workers per Netflow stream pop, correlate, and enqueue results;
 * Write workers drain the write queue to the output sink.
 
+Worker bodies drain their buffers in batches (``engine_batch_size``
+records per wake-up) through the batched processor APIs, so the lock
+round-trip per stage is paid once per batch rather than once per record —
+the Python analogue of the Go implementation's amortised worker loops.
+
 This engine measures real concurrency behaviour — buffer loss, lock
 contention, queueing delay — at Python-scale record rates. The paper's
 1M records/s is out of reach for CPython (the calibration band for this
@@ -43,12 +48,40 @@ from repro.streams.stream import RecordStream
 _POP_TIMEOUT = 0.1
 
 
+def gated_flow_source(
+    engine: "ThreadedEngine",
+    items: Iterable,
+    timeout: float = 300.0,
+    poll: float = 0.005,
+    on_timeout=None,
+) -> Iterable:
+    """A flow source that waits for the engine's DNS fill to finish.
+
+    Yields nothing until ``engine.fillup_complete`` (or ``timeout``
+    seconds pass, after which ``on_timeout`` — if given — is called once
+    before yielding anyway). The wait runs in the receiver thread at the
+    first ``next()``. This is the one shared implementation of the
+    deterministic-matching gate used by the CLI's offline mode, the test
+    suite, and the benchmarks.
+    """
+
+    def source():
+        deadline = time.monotonic() + timeout
+        while not engine.fillup_complete and time.monotonic() < deadline:
+            time.sleep(poll)
+        if not engine.fillup_complete and on_timeout is not None:
+            on_timeout()
+        yield from items
+
+    return source()
+
+
 class ThreadedEngine:
     """Run FlowDNS with real threads over finite stream sources."""
 
     def __init__(
         self,
-        config: FlowDNSConfig = None,
+        config: Optional[FlowDNSConfig] = None,
         sink: Optional[TextIO] = None,
     ):
         self.config = config if config is not None else FlowDNSConfig()
@@ -60,6 +93,23 @@ class ThreadedEngine:
         self.flow_streams: List[RecordStream] = []
         self.writer = WriteWorker(self.sink)
         self._writer_lock = threading.Lock()
+        self._fillup_threads: Optional[List[threading.Thread]] = None
+
+    @property
+    def fillup_complete(self) -> bool:
+        """True once every FillUp worker has drained its stream and exited.
+
+        Flow sources that want deterministic matching (offline replays,
+        tests) can poll this before yielding their first record. False
+        until run() has set its workers up; vacuously true for a run with
+        no DNS sources.
+        """
+        threads = self._fillup_threads
+        if threads is None:
+            return False
+        # is_alive() is False for a thread that has not started yet, so a
+        # worker only counts as done once it has an ident (i.e. ran).
+        return all(t.ident is not None and not t.is_alive() for t in threads)
 
     # --- worker bodies --------------------------------------------------------
 
@@ -69,16 +119,33 @@ class ThreadedEngine:
             stream.pump(1024)
 
     def _fillup_worker(self, stream: RecordStream, processor: FillUpProcessor) -> None:
+        """Drain the DNS buffer in batches through the batched fill path.
+
+        One buffer lock round-trip and one storage round-trip per batch.
+        Exact-TTL mode keeps per-record processing and per-record sweeps:
+        the A.8 experiment's result *is* the sweep-cost meltdown, so its
+        timing must not be amortised away.
+        """
+        batch_size = self.config.engine_batch_size
+        exact_ttl = self.config.exact_ttl
+        buffer = stream.buffer
         while True:
-            item = stream.buffer.pop(timeout=_POP_TIMEOUT)
-            if item is None:
-                if stream.buffer.closed and len(stream.buffer) == 0:
+            items = buffer.pop_many(batch_size, timeout=_POP_TIMEOUT)
+            if not items:
+                if buffer.closed and len(buffer) == 0:
                     return
                 continue
-            for record in self._to_dns_records(item, processor):
-                processor.process(record)
-                if self.config.exact_ttl:
+            records: List[DnsRecord] = []
+            for item in items:
+                records.extend(self._to_dns_records(item, processor))
+            if not records:
+                continue
+            if exact_ttl:
+                for record in records:
+                    processor.process(record)
                     self.storage.tick(record.ts)
+            else:
+                processor.process_batch(records)
 
     @staticmethod
     def _to_dns_records(item, processor: FillUpProcessor) -> Iterable[DnsRecord]:
@@ -96,33 +163,39 @@ class ThreadedEngine:
         collector: FlowCollector,
         write_queue: WorkerQueue,
     ) -> None:
+        batch_size = self.config.engine_batch_size
+        buffer = stream.buffer
         while True:
-            item = stream.buffer.pop(timeout=_POP_TIMEOUT)
-            if item is None:
-                if stream.buffer.closed and len(stream.buffer) == 0:
+            items = buffer.pop_many(batch_size, timeout=_POP_TIMEOUT)
+            if not items:
+                if buffer.closed and len(buffer) == 0:
                     return
                 continue
-            if isinstance(item, FlowRecord):
-                flows: Sequence[FlowRecord] = (item,)
-            elif isinstance(item, (bytes, bytearray)):
-                flows = collector.ingest(bytes(item))
-            else:
+            flows: List[FlowRecord] = []
+            for item in items:
+                if isinstance(item, FlowRecord):
+                    flows.append(item)
+                elif isinstance(item, (bytes, bytearray)):
+                    flows.extend(collector.ingest(bytes(item)))
+            if not flows:
                 continue
-            for flow in flows:
-                result = processor.process(flow)
-                write_queue.push((result, time.monotonic()))
+            results = processor.correlate_batch(flows)
+            created = time.monotonic()
+            write_queue.push_many([(result, created) for result in results])
 
     def _write_worker(self, write_queue: WorkerQueue) -> None:
+        batch_size = self.config.engine_batch_size
         while True:
-            item = write_queue.pop(timeout=_POP_TIMEOUT)
-            if item is None:
+            items = write_queue.pop_many(batch_size, timeout=_POP_TIMEOUT)
+            if not items:
                 if write_queue.closed and len(write_queue) == 0:
                     return
                 continue
-            result, created_monotonic = item
-            queueing_delay = time.monotonic() - created_monotonic
+            now = time.monotonic()
             with self._writer_lock:
-                self.writer.write(result, now=result.flow.ts + queueing_delay)
+                for result, created_monotonic in items:
+                    queueing_delay = now - created_monotonic
+                    self.writer.write(result, now=result.flow.ts + queueing_delay)
 
     # --- orchestration -----------------------------------------------------------
 
@@ -162,6 +235,7 @@ class ThreadedEngine:
                 )
                 fillup_threads.append(t)
                 threads.append(t)
+        self._fillup_threads = fillup_threads
 
         lookup_threads: List[threading.Thread] = []
         for stream in self.flow_streams:

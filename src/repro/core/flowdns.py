@@ -28,11 +28,14 @@ from repro.netflow.records import FlowRecord
 class FlowDNS:
     """Stateful DNS↔Netflow correlator (Figure 1 without the plumbing)."""
 
-    def __init__(self, config: FlowDNSConfig = None):
+    def __init__(self, config: Optional[FlowDNSConfig] = None):
         self.config = config if config is not None else FlowDNSConfig()
         self.storage = DnsStorage(self.config)
         self._fillup = FillUpProcessor(self.storage)
         self._lookup = LookUpProcessor(self.storage, self.config)
+        # Dedicated probe for service_of(): shares the storage but keeps
+        # IP-only probes out of the flow statistics.
+        self._probe = LookUpProcessor(self.storage, self.config)
 
     # --- DNS side -------------------------------------------------------------
 
@@ -41,7 +44,12 @@ class FlowDNS:
         return self._fillup.process(record)
 
     def add_dns_many(self, records: Iterable[DnsRecord]) -> int:
-        return self._fillup.process_many(records)
+        """Insert many records through the batched fast path.
+
+        One rotation check and one lock acquisition per map shard for the
+        whole batch; same counters as per-record :meth:`add_dns` calls.
+        """
+        return self._fillup.process_batch(records)
 
     def add_dns_message(self, ts: float, payload) -> int:
         """Filter + insert a wire-format response (bytes or DnsMessage)."""
@@ -55,16 +63,23 @@ class FlowDNS:
         return self._lookup.process(flow)
 
     def correlate_many(self, flows: Iterable[FlowRecord]) -> List[CorrelationResult]:
-        return [self._lookup.process(flow) for flow in flows]
+        """Correlate many flows through the batched fast path.
+
+        Each distinct lookup IP is resolved once for the whole batch (see
+        :meth:`LookUpProcessor.correlate_batch` for the exact semantics).
+        """
+        return self._lookup.correlate_batch(
+            flows if isinstance(flows, list) else list(flows)
+        )
 
     def service_of(self, ip, now: float) -> Optional[str]:
         """Resolve one bare IP to its service name (or None).
 
-        Uses the same deepLookUp + CNAME-chain walk as flow processing
-        but without touching the flow statistics.
+        Uses the same deepLookUp + CNAME-chain walk as flow processing —
+        via a dedicated probe processor, so repeated probes cost no object
+        churn and never touch the flow statistics.
         """
-        probe = LookUpProcessor(self.storage, self.config)
-        chain = probe._resolve(str(ip), now)
+        chain = self._probe.resolve(str(ip), now)
         return chain[-1] if chain else None
 
     # --- maintenance / introspection -------------------------------------------

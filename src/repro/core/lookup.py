@@ -9,7 +9,7 @@ multi-hop chains back into the Active CNAME map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import FlowDNSConfig
 from repro.core.storage_adapter import DnsStorage
@@ -111,11 +111,131 @@ class LookUpProcessor:
             self.stats.unmatched += 1
         return CorrelationResult(flow, tuple(chain), flow.ts)
 
+    def correlate_batch(self, flows: Sequence[FlowRecord]) -> List[CorrelationResult]:
+        """Batched steps 4–7: correlate many flows in one storage round-trip.
+
+        Produces the same results and flow-level counters as calling
+        :meth:`process` per record, with two batch-level differences:
+
+        * each distinct lookup IP is resolved once per batch and its chain
+          shared across the batch's flows, so the chain-walk counters
+          (``cname_steps``, ``chains_memoized``) count unique resolutions,
+          and a multi-hop chain memoised mid-batch shortens later *batches*
+          rather than later flows of the same batch;
+        * the exact-TTL store's expiry depends on each flow's own
+          timestamp, which makes sharing resolutions unsound — that
+          configuration transparently falls back to per-record processing.
+        """
+        batch = flows if isinstance(flows, list) else list(flows)
+        if not batch:
+            return []
+        if self.config.exact_ttl:
+            return [self.process(flow) for flow in batch]
+
+        direction = self.config.direction
+        both = direction is FlowDirection.BOTH
+        use_src = both or direction is FlowDirection.SOURCE
+        now = batch[0].ts
+
+        # Pass 1: validity filter + primary lookup key per flow. The str()
+        # conversion is cached per distinct address object.
+        primaries: List[Optional[str]] = [None] * len(batch)
+        str_cache: dict = {}
+        cache_get = str_cache.get
+        invalid = 0
+        for i, flow in enumerate(batch):
+            if flow.bytes_ < 0 or flow.packets < 0:  # is_valid(), inlined
+                invalid += 1
+                continue
+            ip = flow.src_ip if use_src else flow.dst_ip
+            text = cache_get(ip)
+            if text is None:
+                text = str(ip)
+                str_cache[ip] = text
+            primaries[i] = text
+
+        # Pass 2: one batched deepLookUp for the unique IPs, then one
+        # chain walk per unique hit. First-appearance order (not a set):
+        # chain memoisation makes walk results order-sensitive, and the
+        # per-record path resolves in flow order.
+        unique = dict.fromkeys(text for text in primaries if text is not None)
+        names = self.storage.lookup_ips(unique, now)
+        chains: dict = {}
+        for text in unique:
+            name = names.get(text)
+            chains[text] = tuple(self._walk_chain(name, now)) if name else ()
+
+        if both:
+            # Destination fallback for flows whose source IP missed.
+            fallbacks: List[Optional[str]] = [None] * len(batch)
+            fb_unique: dict = {}
+            for i, flow in enumerate(batch):
+                text = primaries[i]
+                if text is None or chains[text]:
+                    continue
+                dst = str_cache.get(flow.dst_ip)
+                if dst is None:
+                    dst = str(flow.dst_ip)
+                    str_cache[flow.dst_ip] = dst
+                fallbacks[i] = dst
+                if dst not in chains:
+                    fb_unique[dst] = None
+            fb_names = self.storage.lookup_ips(fb_unique, now)
+            for text in fb_unique:
+                name = fb_names.get(text)
+                chains[text] = tuple(self._walk_chain(name, now)) if name else ()
+
+        # Pass 3: per-flow results and counters, flushed to stats once.
+        stats = self.stats
+        results: List[CorrelationResult] = []
+        append = results.append
+        length_counts: dict = {}
+        matched = unmatched = bytes_matched = bytes_in = 0
+        for i, flow in enumerate(batch):
+            bytes_in += flow.bytes_
+            text = primaries[i]
+            if text is None:
+                append(CorrelationResult(flow, (), flow.ts))
+                continue
+            chain = chains[text]
+            if both and not chain and fallbacks[i] is not None:
+                chain = chains[fallbacks[i]]
+            if chain:
+                matched += 1
+                bytes_matched += flow.bytes_
+                length = len(chain)
+                length_counts[length] = length_counts.get(length, 0) + 1
+            else:
+                unmatched += 1
+            append(CorrelationResult(flow, chain, flow.ts))
+        stats.flows_in += len(batch)
+        stats.bytes_in += bytes_in
+        stats.invalid += invalid
+        stats.matched += matched
+        stats.unmatched += unmatched
+        stats.bytes_matched += bytes_matched
+        chain_lengths = stats.chain_lengths
+        for length, count in length_counts.items():
+            chain_lengths[length] = chain_lengths.get(length, 0) + count
+        return results
+
+    def resolve(self, ip_text: str, now: float) -> List[str]:
+        """Public Algorithm-2 resolution of one bare IP.
+
+        Updates only the chain-walk counters, not the flow counters — the
+        facade's ``service_of`` probe and other IP-only callers use this.
+        """
+        return self._resolve(ip_text, now)
+
     def _resolve(self, ip_text: str, now: float) -> List[str]:
         """IP → [name, cname...] per Algorithm 2; [] when nothing found."""
         name = self.storage.lookup_ip(ip_text, now)
         if name is None:
             return []
+        return self._walk_chain(name, now)
+
+    def _walk_chain(self, name: str, now: float) -> List[str]:
+        """Follow the NAME-CNAME chain from a direct hit (Algorithm 2)."""
         chain = [name]
         seen = {name}
         loop_count = 0

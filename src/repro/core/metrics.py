@@ -22,7 +22,7 @@ string pair + map bucket overhead) lands Main's memory in the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.util.units import GIB
 

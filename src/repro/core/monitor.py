@@ -9,7 +9,7 @@ glue this library stays out of.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.engine import ThreadedEngine
 from repro.core.metrics import EngineReport

@@ -1,0 +1,412 @@
+"""ShardedEngine: FlowDNS across worker processes (per-core scaling).
+
+The paper's Go implementation reaches ~1M records/s by spreading workers
+over 128 cores against sharded shared maps. CPython's ThreadedEngine
+cannot scale past one core — the GIL serialises every worker — so this
+engine escapes it with *processes*: the DNS storage is partitioned by
+lookup-IP hash across N shards, each shard process owning a complete
+FillUp/LookUp/storage stack for its slice of the address space. The
+parent routes record batches to shards over IPC and merges the per-shard
+counters into one :class:`EngineReport`.
+
+Routing invariants (what makes the partition correct):
+
+* A/AAAA records go to the shard that owns their *answer* IP — the same
+  hash a flow's lookup IP routes by, so fill and lookup always meet;
+* CNAME records are broadcast to every shard: chains are name-keyed and
+  may be walked starting from any IP shard;
+* flows route by their direction-selected lookup IP. With
+  ``FlowDirection.BOTH`` a single flow would need two shards, so that
+  mode broadcasts the address records instead — every shard can then
+  match either endpoint locally.
+
+IPC is batched (``engine_batch_size`` records per message): a
+``multiprocessing.Queue`` pays a pickle plus a pipe write per message,
+which at one record per message would dwarf the correlation work itself.
+Input queues are bounded so a slow shard applies backpressure to the
+router instead of buffering the whole input in memory. There are no
+bounded drop-counting ingress buffers in this engine, so
+``overall_loss_rate`` is always 0 — loss modelling stays with the
+threaded and simulation engines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.core.config import FlowDNSConfig
+from repro.core.fillup import FillUpProcessor
+from repro.core.labeler import ip_label
+from repro.core.lookup import LookUpProcessor
+from repro.core.metrics import EngineReport
+from repro.core.storage_adapter import DnsStorage
+from repro.core.writer import HEADER, format_result
+from repro.dns.stream import DnsRecord
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import FlowDirection, FlowRecord
+from repro.util.errors import ConfigError
+
+#: Message kinds on the shard input/output queues.
+_DNS = 0
+_FLOWS = 1
+_ROWS = 2
+_REPORT = 3
+
+#: Bounded batches buffered per shard input queue (backpressure depth).
+_QUEUE_DEPTH = 16
+
+
+def _empty_summary(shard_id: int, error: Optional[str]) -> Dict:
+    """A zeroed per-shard report, used when a shard dies before reporting."""
+    return {
+        "shard": shard_id,
+        "error": error,
+        "flows_in": 0,
+        "bytes_in": 0,
+        "bytes_matched": 0,
+        "matched": 0,
+        "unmatched": 0,
+        "chain_lengths": {},
+        "records_in": 0,
+        "records_stored": 0,
+        "map_entries": 0,
+        "overwrites": 0,
+    }
+
+
+def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
+    """One shard process: a private storage stack fed by batch messages.
+
+    Runs until the ``None`` sentinel, then reports its counters. Any
+    exception is reported back instead of hanging the parent.
+    """
+    storage = DnsStorage(config)
+    fillup = FillUpProcessor(storage)
+    lookup = LookUpProcessor(storage, config)
+    error: Optional[str] = None
+    try:
+        while True:
+            message = in_queue.get()
+            if message is None:
+                break
+            kind, batch = message
+            if kind == _DNS:
+                if config.exact_ttl:
+                    # Per-record sweeps, like the threaded engine: the A.8
+                    # exact-TTL result is the sweep cost itself and must
+                    # not be amortised away.
+                    for record in batch:
+                        fillup.process(record)
+                        storage.tick(record.ts)
+                else:
+                    fillup.process_batch(batch)
+            else:
+                results = lookup.correlate_batch(batch)
+                if want_rows:
+                    out_queue.put((_ROWS, [format_result(r) for r in results]))
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        # Keep draining until the sentinel: the input queue is bounded, so
+        # abandoning it would block the parent's routers forever.
+        while in_queue.get() is not None:
+            pass
+    out_queue.put((
+        _REPORT,
+        {
+            "shard": shard_id,
+            "error": error,
+            "flows_in": lookup.stats.flows_in,
+            "bytes_in": lookup.stats.bytes_in,
+            "bytes_matched": lookup.stats.bytes_matched,
+            "matched": lookup.stats.matched,
+            "unmatched": lookup.stats.unmatched,
+            "chain_lengths": dict(lookup.stats.chain_lengths),
+            "records_in": fillup.stats.records_in,
+            "records_stored": fillup.stats.records_stored,
+            "map_entries": storage.total_entries(),
+            "overwrites": storage.overwrites(),
+        },
+    ))
+
+
+class _BatchRouter:
+    """Per-source-thread batch accumulator over the shard input queues.
+
+    Each router is owned by exactly one parent thread, so the pending
+    buffers need no locking; only the (thread-safe) mp queues are shared.
+    Puts poll with a timeout against ``shard_alive`` so a dead shard
+    process (whose bounded queue stays full forever) cannot wedge the
+    router — its batches are dropped and the drain loop reports the death.
+    """
+
+    def __init__(
+        self,
+        queues: Sequence,
+        batch_size: int,
+        shard_alive: Optional[Callable[[int], bool]] = None,
+    ):
+        self._queues = queues
+        self._batch_size = batch_size
+        self._shard_alive = shard_alive
+        self._pending: List[List] = [[] for _ in queues]
+        self._dead = [False] * len(queues)
+
+    def _put(self, shard: int, payload) -> None:
+        if self._dead[shard]:
+            return
+        while True:
+            if self._shard_alive is not None and not self._shard_alive(shard):
+                # Shard died; latch and drop — the drain loop reports it.
+                self._dead[shard] = True
+                return
+            try:
+                self._queues[shard].put(payload, timeout=1.0)
+                return
+            except queue_mod.Full:
+                continue
+
+    def route(self, kind: int, shard: int, record) -> None:
+        pending = self._pending[shard]
+        pending.append(record)
+        if len(pending) >= self._batch_size:
+            self._put(shard, (kind, pending))
+            self._pending[shard] = []
+
+    def broadcast(self, kind: int, record) -> None:
+        for shard in range(len(self._queues)):
+            self.route(kind, shard, record)
+
+    def flush(self, kind: int) -> None:
+        for shard, pending in enumerate(self._pending):
+            if pending:
+                self._put(shard, (kind, pending))
+                self._pending[shard] = []
+
+    def close(self, shard: int) -> None:
+        self._put(shard, None)
+
+
+class ShardedEngine:
+    """Run FlowDNS across ``num_shards`` worker processes."""
+
+    def __init__(
+        self,
+        config: Optional[FlowDNSConfig] = None,
+        sink: Optional[TextIO] = None,
+        num_shards: Optional[int] = None,
+    ):
+        self.config = config if config is not None else FlowDNSConfig()
+        self.sink = sink
+        shards = num_shards if num_shards is not None else mp.cpu_count()
+        if shards < 1:
+            raise ConfigError("num_shards must be at least 1")
+        self.num_shards = shards
+        self._dns_records_seen = 0
+        self._dns_count_lock = threading.Lock()
+
+    # --- parent-side routing --------------------------------------------------
+
+    def _route_dns(self, source: Iterable, router: _BatchRouter) -> None:
+        """Feed one DNS source: filter, count, and shard its records."""
+        broadcast_addresses = self.config.direction is FlowDirection.BOTH
+        num_shards = self.num_shards
+        # A storage-less processor gives us the same wire filter the
+        # threaded engine applies; it only ever touches its stats here.
+        dns_filter = FillUpProcessor(storage=None)
+        seen = 0
+        for item in source:
+            if isinstance(item, DnsRecord):
+                records = (item,)
+            elif isinstance(item, tuple) and len(item) == 2:
+                records = dns_filter.filter_message(item[0], item[1])
+            else:
+                continue
+            for record in records:
+                seen += 1
+                if record.is_cname or (record.is_address and broadcast_addresses):
+                    router.broadcast(_DNS, record)
+                elif record.is_address:
+                    router.route(_DNS, ip_label(record.answer) % num_shards, record)
+                # Other record types are counted (parity with the threaded
+                # engine's records_in) but never stored — no IPC for them.
+        router.flush(_DNS)
+        with self._dns_count_lock:
+            self._dns_records_seen += seen
+
+    def _route_flows(self, source: Iterable, router: _BatchRouter) -> None:
+        """Feed one flow source: decode datagrams and shard by lookup IP."""
+        direction = self.config.direction
+        use_src = direction in (FlowDirection.SOURCE, FlowDirection.BOTH)
+        num_shards = self.num_shards
+        collector = FlowCollector()
+        for item in source:
+            if isinstance(item, FlowRecord):
+                flows = (item,)
+            elif isinstance(item, (bytes, bytearray)):
+                flows = collector.ingest(bytes(item))
+            else:
+                continue
+            for flow in flows:
+                ip = flow.src_ip if use_src else flow.dst_ip
+                router.route(_FLOWS, ip_label(ip) % num_shards, flow)
+        router.flush(_FLOWS)
+
+    def _drain_output(self, out_queue, reports: List[Dict], workers) -> None:
+        """Write result rows as they arrive; stop after every shard reports.
+
+        A shard process that dies without reporting (OOM kill, hard crash)
+        gets a synthetic error report so the run fails loudly instead of
+        hanging on a report that will never come.
+        """
+        def handle(kind, payload) -> None:
+            if kind == _REPORT:
+                reports.append(payload)
+            elif self.sink is not None:
+                for row in payload:
+                    self.sink.write(row)
+
+        while len(reports) < self.num_shards:
+            try:
+                kind, payload = out_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                # Close the report-in-flight window before declaring a
+                # death: a shard may have flushed its report to the pipe
+                # in the instant the blocking get timed out.
+                try:
+                    while True:
+                        kind, payload = out_queue.get_nowait()
+                        handle(kind, payload)
+                except queue_mod.Empty:
+                    pass
+                reported = {r["shard"] for r in reports}
+                for shard, worker in enumerate(workers):
+                    if shard in reported:
+                        continue
+                    if worker.ident is not None and not worker.is_alive():
+                        reports.append(_empty_summary(
+                            shard,
+                            f"shard process died without reporting "
+                            f"(exitcode {worker.exitcode})",
+                        ))
+                continue
+            handle(kind, payload)
+
+    # --- orchestration --------------------------------------------------------
+
+    def run(
+        self,
+        dns_sources: Sequence[Iterable],
+        flow_sources: Sequence[Iterable],
+        dns_first: bool = False,
+    ) -> EngineReport:
+        """Run the sharded pipeline until every source is drained.
+
+        By default DNS and flow sources are routed concurrently, like the
+        threaded engine's receivers, so mid-stream matching is timing
+        dependent. With ``dns_first=True`` every DNS batch is enqueued
+        before any flow routing starts; each shard's input queue is FIFO,
+        so all DNS records are stored before the first flow correlates —
+        the deterministic offline-replay mode the CLI uses.
+        """
+        ctx = mp.get_context()
+        in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.num_shards)]
+        out_queue = ctx.Queue()
+        want_rows = self.sink is not None
+        if want_rows:
+            self.sink.write(HEADER)
+        workers = [
+            ctx.Process(
+                target=_shard_worker,
+                args=(i, self.config, in_queues[i], out_queue, want_rows),
+                daemon=True,
+            )
+            for i in range(self.num_shards)
+        ]
+        for worker in workers:
+            worker.start()
+
+        self._dns_records_seen = 0
+        batch_size = self.config.engine_batch_size
+
+        def shard_alive(shard: int) -> bool:
+            return workers[shard].is_alive()
+
+        def spawn(target, source):
+            router = _BatchRouter(in_queues, batch_size, shard_alive=shard_alive)
+            return threading.Thread(target=target, args=(source, router), daemon=True)
+
+        dns_threads = [spawn(self._route_dns, src) for src in dns_sources]
+        flow_threads = [spawn(self._route_flows, src) for src in flow_sources]
+
+        reports: List[Dict] = []
+        drain = threading.Thread(
+            target=self._drain_output,
+            args=(out_queue, reports, workers),
+            daemon=True,
+        )
+        drain.start()
+
+        if dns_first:
+            # Phase barrier: every DNS batch (including the final partial
+            # flushes) is on the shard queues before flow routing begins.
+            for thread in dns_threads:
+                thread.start()
+            for thread in dns_threads:
+                thread.join()
+            for thread in flow_threads:
+                thread.start()
+        else:
+            for thread in dns_threads + flow_threads:
+                thread.start()
+        for thread in dns_threads + flow_threads:
+            thread.join()
+        sentinel_router = _BatchRouter(in_queues, 1, shard_alive=shard_alive)
+        for shard in range(self.num_shards):
+            sentinel_router.close(shard)
+        drain.join()
+        for worker in workers:
+            worker.join(timeout=30.0)
+            if worker.is_alive():  # pragma: no cover - defensive cleanup
+                worker.terminate()
+        for in_queue in in_queues:
+            # A dead shard leaves undelivered batches in its queue; without
+            # this, the queue's feeder thread blocks interpreter exit
+            # trying to flush a pipe nobody will ever read.
+            in_queue.cancel_join_thread()
+            in_queue.close()
+
+        failures = [r["error"] for r in reports if r.get("error")]
+        if failures:
+            raise RuntimeError(f"shard worker failed: {failures[0]}")
+        return self._merge_reports(reports)
+
+    def _merge_reports(self, reports: List[Dict]) -> EngineReport:
+        report = EngineReport(variant_name="sharded")
+        report.total_bytes = sum(r["bytes_in"] for r in reports)
+        report.correlated_bytes = sum(r["bytes_matched"] for r in reports)
+        report.flow_records = sum(r["flows_in"] for r in reports)
+        report.matched_flows = sum(r["matched"] for r in reports)
+        report.dns_records = self._dns_records_seen
+        for shard_report in reports:
+            for length, count in shard_report["chain_lengths"].items():
+                report.chain_lengths[length] = (
+                    report.chain_lengths.get(length, 0) + count
+                )
+        # Resident entries across all shard processes. CNAME (and, in BOTH
+        # mode, address) broadcasts are counted once per holding shard:
+        # replicated entries genuinely occupy memory in each process.
+        report.final_map_entries = sum(r["map_entries"] for r in reports)
+        if self.config.direction is FlowDirection.BOTH:
+            # Address records are broadcast, so every shard observes the
+            # same IP-key overwrites; summing would multiply the count by
+            # num_shards. Any one shard's count is the global count.
+            report.overwrites = max(
+                (r["overwrites"] for r in reports), default=0
+            )
+        else:
+            report.overwrites = sum(r["overwrites"] for r in reports)
+        report.overall_loss_rate = 0.0
+        return report

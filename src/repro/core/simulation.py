@@ -41,8 +41,8 @@ class SimulationEngine:
 
     def __init__(
         self,
-        config: FlowDNSConfig = None,
-        cost_params: CostModelParams = None,
+        config: Optional[FlowDNSConfig] = None,
+        cost_params: Optional[CostModelParams] = None,
         sample_interval: float = 3600.0,
         write_flush_interval: float = 30.0,
         sink: Optional[TextIO] = None,

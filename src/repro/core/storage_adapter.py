@@ -9,13 +9,13 @@ the Appendix-A.8 exact-TTL experiment swaps in without touching them.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from repro.core.config import FlowDNSConfig
 from repro.core.labeler import ip_label, name_label
 from repro.dns.stream import DnsRecord
 from repro.storage.exact_ttl import ExactTtlStore
-from repro.storage.rotating import StoreBank, Tier
+from repro.storage.rotating import StoreBank
 
 
 class DnsStorage:
@@ -75,7 +75,55 @@ class DnsStorage:
                 self._cname_bank.put(label, record.answer, record.query, record.ttl, record.ts)
         # Other record types were filtered before the FillUp queue.
 
+    def add_many(self, records: Iterable[DnsRecord]) -> None:
+        """Batched Algorithm-1 insert (the engines' fast path).
+
+        For the rotating store this costs one rotation check per bank and
+        one lock acquisition per touched map shard for the whole batch; the
+        exact-TTL store keeps per-record semantics (its expiry sweeps are
+        timestamp-driven per put).
+        """
+        if self._ip_exact is not None:
+            for record in records:
+                self.add_record(record)
+            return
+        ip_entries = []
+        cname_entries = []
+        for record in records:
+            if record.is_address:
+                ip_entries.append(
+                    (ip_label(record.answer), record.answer, record.query,
+                     record.ttl, record.ts)
+                )
+            elif record.is_cname:
+                cname_entries.append(
+                    (name_label(record.answer), record.answer, record.query,
+                     record.ttl, record.ts)
+                )
+        if ip_entries:
+            self._ip_bank.put_many(ip_entries)
+        if cname_entries:
+            self._cname_bank.put_many(cname_entries)
+
     # --- lookup side ----------------------------------------------------------
+
+    def lookup_ips(self, ip_texts: Iterable[str], now: float) -> Dict[str, str]:
+        """Batched first stage of Algorithm 2 over unique IPs.
+
+        Returns ``{ip: queried name}`` for the hits; missing IPs are
+        absent. One lock acquisition per map shard per tier instead of one
+        per IP.
+        """
+        if self._ip_exact is not None:
+            out: Dict[str, str] = {}
+            for ip_text in ip_texts:
+                name = self.lookup_ip(ip_text, now)
+                if name is not None:
+                    out[ip_text] = name
+            return out
+        return self._ip_bank.deep_lookup_many(
+            (ip_label(ip_text), ip_text) for ip_text in ip_texts
+        )
 
     def lookup_ip(self, ip_text: str, now: float) -> Optional[str]:
         """IP → queried name (first stage of Algorithm 2)."""

@@ -16,7 +16,7 @@ system:
 from __future__ import annotations
 
 from enum import Enum
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.core.config import FlowDNSConfig
 
@@ -48,7 +48,46 @@ FIGURE7_VARIANTS = (
 )
 
 
-def config_for(variant: Variant, base: FlowDNSConfig = None) -> FlowDNSConfig:
+#: Engine implementations, for CLI/embedding selection. ``simulation``
+#: replays flat record iterables deterministically with modelled
+#: resources; ``threaded`` and ``sharded`` take sequences of stream
+#: sources and run the live pipeline (one process, batched workers) or
+#: the multiprocessing variant (storage partitioned by lookup-IP hash).
+ENGINE_VARIANTS = {
+    "simulation": "deterministic single-threaded replay, modelled resources",
+    "threaded": "live multi-threaded pipeline with batched workers",
+    "sharded": "multiprocessing pipeline sharded by lookup-IP hash",
+}
+
+
+def engine_for(
+    name: str,
+    config: Optional[FlowDNSConfig] = None,
+    sink=None,
+    num_shards: Optional[int] = None,
+):
+    """Instantiate an engine variant by registry name.
+
+    Note the run() signatures differ: ``simulation`` consumes flat record
+    iterables; ``threaded``/``sharded`` consume sequences of sources.
+    """
+    config = config if config is not None else FlowDNSConfig()
+    if name == "simulation":
+        from repro.core.simulation import SimulationEngine
+
+        return SimulationEngine(config, sink=sink)
+    if name == "threaded":
+        from repro.core.engine import ThreadedEngine
+
+        return ThreadedEngine(config, sink=sink)
+    if name == "sharded":
+        from repro.core.sharded import ShardedEngine
+
+        return ShardedEngine(config, sink=sink, num_shards=num_shards)
+    raise ValueError(f"unknown engine {name!r}; known: {sorted(ENGINE_VARIANTS)}")
+
+
+def config_for(variant: Variant, base: Optional[FlowDNSConfig] = None) -> FlowDNSConfig:
     """Derive a variant's config from a base (default: paper defaults)."""
     base = base if base is not None else FlowDNSConfig()
     if variant == Variant.MAIN:
@@ -72,5 +111,7 @@ def config_for(variant: Variant, base: FlowDNSConfig = None) -> FlowDNSConfig:
     raise ValueError(f"unknown variant {variant!r}")
 
 
-def configs_for(variants: Iterable[Variant], base: FlowDNSConfig = None) -> List[FlowDNSConfig]:
+def configs_for(
+    variants: Iterable[Variant], base: Optional[FlowDNSConfig] = None
+) -> List[FlowDNSConfig]:
     return [config_for(v, base) for v in variants]

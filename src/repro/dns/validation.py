@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
 
-from repro.dns.name import labels_of, normalize_name
+from repro.dns.name import normalize_name
 
 _LETTERS = set(string.ascii_letters)
 _LETTERS_DIGITS = _LETTERS | set(string.digits)

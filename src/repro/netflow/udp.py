@@ -30,7 +30,7 @@ class UdpFlowSource:
     def __init__(
         self,
         bind_addr: Tuple[str, int] = ("127.0.0.1", 0),
-        collector: FlowCollector = None,
+        collector: Optional[FlowCollector] = None,
         recv_timeout: float = 0.2,
     ):
         self.collector = collector if collector is not None else FlowCollector()

@@ -13,7 +13,7 @@ implemented faithfully.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.util.errors import ConfigError
 
@@ -57,6 +57,55 @@ class ConcurrentMap:
             self._shards[idx][key] = value
         finally:
             self._locks[idx].release()
+
+    def set_many(self, pairs: Iterable[Tuple[str, object]]) -> int:
+        """Store many ``(key, value)`` pairs, one lock acquisition per shard.
+
+        Insertion order is preserved within each shard, so repeated keys
+        keep last-write-wins semantics. Returns the number of keys whose
+        previous value existed and differed (the fill path's overwrite
+        counter).
+        """
+        by_shard: Dict[int, List[Tuple[str, object]]] = {}
+        shard_of = self._shard_index
+        for pair in pairs:
+            by_shard.setdefault(shard_of(pair[0]), []).append(pair)
+        replaced = 0
+        for idx, kvs in by_shard.items():
+            self._acquire(idx)
+            try:
+                shard = self._shards[idx]
+                for key, value in kvs:
+                    previous = shard.get(key)
+                    if previous is not None and previous != value:
+                        replaced += 1
+                    shard[key] = value
+            finally:
+                self._locks[idx].release()
+        return replaced
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, object]:
+        """Fetch many keys with one lock acquisition per shard.
+
+        Returns a dict of the keys that were present; missing keys are
+        simply absent from the result.
+        """
+        by_shard: Dict[int, List[str]] = {}
+        shard_of = self._shard_index
+        for key in keys:
+            by_shard.setdefault(shard_of(key), []).append(key)
+        out: Dict[str, object] = {}
+        for idx, ks in by_shard.items():
+            self._acquire(idx)
+            try:
+                shard = self._shards[idx]
+                for key in ks:
+                    value = shard.get(key)
+                    if value is not None:
+                        out[key] = value
+            finally:
+                self._locks[idx].release()
+        return out
 
     def get(self, key: str, default=None):
         idx = self._shard_index(key)

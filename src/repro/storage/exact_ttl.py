@@ -13,7 +13,7 @@ charged to the CPU budget, starving the ingest path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.storage.concurrent_map import DEFAULT_SHARD_COUNT, ConcurrentMap
 from repro.util.errors import ConfigError

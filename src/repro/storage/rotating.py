@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.storage.concurrent_map import DEFAULT_SHARD_COUNT, ConcurrentMap
 from repro.util.errors import ConfigError
@@ -117,6 +117,84 @@ class StoreBank:
         self.stats.puts += 1
         if goes_long:
             self.stats.puts_long += 1
+
+    def _clear_up_due(self, ts: float) -> bool:
+        """Cheap unguarded check mirroring maybe_clear_up's precondition."""
+        if not self.clear_up_enabled:
+            return False
+        last = self._last_clear_ts
+        return last is None or ts - last >= self.clear_up_interval
+
+    def put_many(self, entries: Iterable[Tuple[int, str, str, float, float]]) -> None:
+        """Insert many ``(label, key, value, ttl, ts)`` records, batched.
+
+        Algorithm 1 with the per-record costs amortised: the clear-up
+        check per record is a float compare, the rotation itself runs at
+        exactly the record boundaries where per-record puts would run it
+        (the batch is split there), and map writes cost one lock
+        acquisition per touched shard per segment.
+        """
+        batch = entries if isinstance(entries, list) else list(entries)
+        if not batch:
+            return
+        start = 0
+        for i, entry in enumerate(batch):
+            if self._clear_up_due(entry[4]):
+                if start < i:
+                    self._put_group(batch[start:i])
+                    start = i
+                self.maybe_clear_up(entry[4])
+        self._put_group(batch[start:])
+
+    def _put_group(self, entries: List[Tuple[int, str, str, float, float]]) -> None:
+        """Insert one rotation-free segment with batched map writes."""
+        groups: Dict[Tuple[int, bool], List[Tuple[str, str]]] = {}
+        split = self._split
+        long_enabled = self.long_enabled
+        interval = self.clear_up_interval
+        for label, key, value, ttl, _ts in entries:
+            goes_long = long_enabled and ttl >= interval
+            groups.setdefault((split(label), goes_long), []).append((key, value))
+        puts_long = 0
+        for (n, goes_long), pairs in groups.items():
+            target = self._long[n] if goes_long else self._active[n]
+            self.stats.overwrites += target.set_many(pairs)
+            if goes_long:
+                puts_long += len(pairs)
+        self.stats.puts += len(entries)
+        self.stats.puts_long += puts_long
+
+    def deep_lookup_many(self, labeled_keys: Iterable[Tuple[int, str]]) -> Dict[str, str]:
+        """Batched deepLookUp over unique ``(label, key)`` pairs.
+
+        Walks Active → Inactive → Long like :meth:`deep_lookup` but with
+        one lock acquisition per map shard per tier. Returns ``{key:
+        value}`` for the hits; missing keys are absent. Tier hit counters
+        are updated in bulk.
+        """
+        by_split: Dict[int, List[str]] = {}
+        split = self._split
+        for label, key in labeled_keys:
+            by_split.setdefault(split(label), []).append(key)
+        out: Dict[str, str] = {}
+        hits = self.stats.hits
+        for n, keys in by_split.items():
+            found = self._active[n].get_many(keys)
+            hits[Tier.ACTIVE.value] += len(found)
+            out.update(found)
+            missing = [k for k in keys if k not in found]
+            if missing:
+                found = self._inactive[n].get_many(missing)
+                hits[Tier.INACTIVE.value] += len(found)
+                out.update(found)
+                missing = [k for k in missing if k not in found]
+            if missing:
+                found = self._long[n].get_many(missing)
+                hits[Tier.LONG.value] += len(found)
+                out.update(found)
+                missing = [k for k in missing if k not in found]
+            self.stats.misses += len(missing)
+        return out
 
     def deep_lookup(self, label: int, key: str) -> Tuple[Optional[str], Optional[Tier]]:
         """Algorithm 2's deepLookUp: Active, then Inactive, then Long."""

@@ -68,12 +68,30 @@ class BoundedBuffer:
             return True
 
     def push_many(self, items: Iterable) -> int:
-        """Offer several records; returns how many were accepted."""
-        accepted = 0
-        for item in items:
-            if self.push(item):
+        """Offer several records under one lock; returns how many were
+        accepted. Overflow still drops the incoming record, per record."""
+        batch = list(items)
+        if not batch:
+            return 0
+        with self._lock:
+            if self._closed:
+                raise StreamClosed(f"push on closed buffer {self.name!r}")
+            queue = self._items
+            stats = self.stats
+            accepted = 0
+            for item in batch:
+                stats.offered += 1
+                if len(queue) >= self.capacity:
+                    stats.dropped += 1
+                    continue
+                queue.append(item)
                 accepted += 1
-        return accepted
+            stats.accepted += accepted
+            if len(queue) > stats.high_watermark:
+                stats.high_watermark = len(queue)
+            if accepted:
+                self._not_empty.notify(accepted)
+            return accepted
 
     def pop(self, timeout: Optional[float] = None):
         """Remove and return the oldest record.
@@ -94,6 +112,27 @@ class BoundedBuffer:
     def pop_batch(self, max_items: int) -> List:
         """Non-blocking: drain up to ``max_items`` records."""
         with self._lock:
+            n = min(max_items, len(self._items))
+            batch = [self._items.popleft() for _ in range(n)]
+            self.stats.popped += n
+            return batch
+
+    def pop_many(self, max_items: int, timeout: Optional[float] = None) -> List:
+        """Blocking batch pop: wait for at least one record, drain up to
+        ``max_items`` under a single lock acquisition.
+
+        Returns an empty list on timeout or when the buffer is closed and
+        drained — the batched engine's hot path, amortising the lock
+        round-trip that :meth:`pop` pays per record.
+        """
+        if max_items <= 0:
+            return []
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return []
+                if not self._not_empty.wait(timeout=timeout):
+                    return []
             n = min(max_items, len(self._items))
             batch = [self._items.popleft() for _ in range(n)]
             self.stats.popped += n

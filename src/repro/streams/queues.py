@@ -51,6 +51,26 @@ class WorkerQueue:
         finally:
             self._lock.release()
 
+    def push_many(self, items) -> int:
+        """Enqueue several items with a single (possibly contended) lock
+        acquisition; returns how many were pushed."""
+        batch = list(items)
+        if not batch:
+            return 0
+        acquired = self._lock.acquire(blocking=False)
+        if not acquired:
+            self.contended += 1
+            self._lock.acquire()
+        try:
+            if self._closed:
+                raise StreamClosed(f"push on closed queue {self.name!r}")
+            self._items.extend(batch)
+            self.pushed += len(batch)
+            self._not_empty.notify(len(batch))
+            return len(batch)
+        finally:
+            self._lock.release()
+
     def pop(self, timeout: Optional[float] = None):
         """Blocking pop; ``None`` signals closed-and-drained or timeout."""
         with self._not_empty:
@@ -61,6 +81,25 @@ class WorkerQueue:
                     return None
             self.popped += 1
             return self._items.popleft()
+
+    def pop_many(self, max_items: int, timeout: Optional[float] = None) -> List:
+        """Blocking batch pop: wait for at least one item, then drain up to
+        ``max_items`` under the same lock acquisition.
+
+        Returns ``[]`` on timeout or when the queue is closed and drained.
+        """
+        if max_items <= 0:
+            return []
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return []
+                if not self._not_empty.wait(timeout=timeout):
+                    return []
+            n = min(max_items, len(self._items))
+            batch = [self._items.popleft() for _ in range(n)]
+            self.popped += n
+            return batch
 
     def pop_nowait(self):
         with self._lock:
@@ -92,7 +131,12 @@ class ShardedQueues:
     configuration.
     """
 
-    def __init__(self, num_shards: int, name: str = "queue", router: Callable = None):
+    def __init__(
+        self,
+        num_shards: int,
+        name: str = "queue",
+        router: Optional[Callable] = None,
+    ):
         if num_shards <= 0:
             raise ConfigError("num_shards must be positive")
         self.shards: List[WorkerQueue] = [

@@ -39,6 +39,10 @@ class RecordStream:
         """
         if self._exhausted:
             return 0
+        # Deliberately per-record: a live source that yields slowly must
+        # not have already-received records sit in a local batch, and
+        # overflow drops should interleave with consumption rather than
+        # arrive as one burst. Consumers batch on their side (pop_many).
         moved = 0
         for _ in range(max_records):
             try:
@@ -103,7 +107,9 @@ class StreamSet:
         return moved
 
 
-def interleave_streams(sources: Sequence[Iterable], key: Callable = None) -> Iterator:
+def interleave_streams(
+    sources: Sequence[Iterable], key: Optional[Callable] = None
+) -> Iterator:
     """Merge timestamp-ordered sources into one ordered stream.
 
     Workload generators emit per-stream record sequences already sorted by

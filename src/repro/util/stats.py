@@ -9,7 +9,7 @@ so paper-vs-measured comparisons always use the same quantile semantics.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 

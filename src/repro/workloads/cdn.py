@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import ipaddress
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dns.rr import RRType
@@ -198,7 +198,7 @@ class CdnHosting:
         universe: DomainUniverse,
         providers: Sequence[CdnProvider] = None,
         seed: int = 0,
-        ttl_model: TtlModel = None,
+        ttl_model: Optional[TtlModel] = None,
         aaaa_fraction: float = DEFAULT_AAAA_FRACTION,
         ephemeral_fraction: float = 0.18,
     ):

@@ -106,12 +106,12 @@ class IspWorkload:
         flow_rate_per_resolution: float = 2.6,
         background_byte_fraction: float = 0.12,
         public_resolver_fraction: float = PUBLIC_RESOLVER_FRACTION,
-        lag_model: LagModel = None,
-        diurnal: DiurnalPattern = None,
+        lag_model: Optional[LagModel] = None,
+        diurnal: Optional[DiurnalPattern] = None,
         warmup: float = 7200.0,
         t0: float = 0.0,
         mean_bytes_per_resolution: float = 2_000_000.0,
-        cost_params: CostModelParams = None,
+        cost_params: Optional[CostModelParams] = None,
         dns_port_flow_multiplier: float = 1.0,
         worker_count: int = 8,
     ):

@@ -86,9 +86,7 @@ class TtlModel:
         is_cname = rtype == RRType.CNAME
         values, cumulative = self._tables[is_cname]
         frac = 0.0
-        prev = 0.0
         for value, cum in zip(values, cumulative):
             if value <= ttl:
                 frac = cum
-            prev = cum
         return frac

@@ -1,0 +1,19 @@
+"""Shared test helper: deterministic flow gating for the live engines.
+
+(Not a conftest: ``benchmarks/`` has its own conftest module, and a bare
+``from conftest import ...`` resolves to whichever loaded first when both
+suites are collected together.)
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import gated_flow_source
+
+
+def gated_flows(engine, items, timeout=30.0):
+    """Flow source that waits for the engine's DNS fill to finish.
+
+    Thin wrapper over :func:`repro.core.engine.gated_flow_source` with a
+    test-friendly timeout.
+    """
+    return gated_flow_source(engine, items, timeout=timeout, poll=0.002)

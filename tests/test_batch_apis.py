@@ -1,0 +1,324 @@
+"""Tests for the batched hot path: buffer/queue batch pops, storage batch
+ops, and the processor-level ``process_batch``/``correlate_batch`` —
+including equivalence against the per-record path."""
+
+import threading
+
+from repro.core.config import FlowDNSConfig
+from repro.core.fillup import FillUpProcessor
+from repro.core.flowdns import FlowDNS
+from repro.core.lookup import LookUpProcessor
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.netflow.records import FlowDirection, FlowRecord
+from repro.storage.concurrent_map import ConcurrentMap
+from repro.storage.rotating import StoreBank
+from repro.streams.buffer import BoundedBuffer
+from repro.streams.queues import WorkerQueue
+
+
+def _dns_records(n=400, services=40):
+    records = [
+        DnsRecord(float(i % 50), f"svc{i % services}.example", RRType.A, 300,
+                  f"10.0.{(i % services) // 25}.{(i % services) % 25 + 1}")
+        for i in range(n)
+    ]
+    records.append(DnsRecord(1.0, "alias.example", RRType.CNAME, 600, "svc0.example"))
+    records.append(DnsRecord(1.0, "svc0.example", RRType.A, 60, "10.9.9.9"))
+    return records
+
+def _flows(n=1000, services=50):
+    return [
+        FlowRecord(ts=float(i % 50),
+                   src_ip=f"10.0.{(i % services) // 25}.{(i % services) % 25 + 1}",
+                   dst_ip="100.64.0.1", bytes_=100 + i % 7)
+        for i in range(n)
+    ]
+
+
+class TestConcurrentMapBatch:
+    def test_set_many_get_many_roundtrip(self):
+        cmap = ConcurrentMap(shard_count=4)
+        pairs = [(f"k{i}", f"v{i}") for i in range(100)]
+        assert cmap.set_many(pairs) == 0
+        found = cmap.get_many([f"k{i}" for i in range(120)])
+        assert found == dict(pairs)
+
+    def test_set_many_counts_changed_values_only(self):
+        cmap = ConcurrentMap(shard_count=4)
+        cmap.set_many([("a", 1), ("b", 2)])
+        # One overwrite-with-different, one same-value rewrite, one new.
+        assert cmap.set_many([("a", 9), ("b", 2), ("c", 3)]) == 1
+
+    def test_set_many_last_write_wins_for_repeated_keys(self):
+        cmap = ConcurrentMap(shard_count=4)
+        cmap.set_many([("k", 1), ("k", 2), ("k", 3)])
+        assert cmap.get("k") == 3
+
+    def test_get_many_empty(self):
+        assert ConcurrentMap().get_many([]) == {}
+
+
+class TestStoreBankBatch:
+    def test_put_many_matches_per_record_puts(self):
+        single = StoreBank(clear_up_interval=3600.0, num_splits=4)
+        batched = StoreBank(clear_up_interval=3600.0, num_splits=4)
+        entries = [(i, f"key{i % 30}", f"val{i % 7}", float(i % 5000), float(i))
+                   for i in range(200)]
+        for label, key, value, ttl, ts in entries:
+            single.put(label, key, value, ttl, ts)
+        batched.put_many(entries)
+        assert single.entry_counts() == batched.entry_counts()
+        assert single.stats.puts == batched.stats.puts
+        assert single.stats.puts_long == batched.stats.puts_long
+        assert single.stats.overwrites == batched.stats.overwrites
+
+    def test_deep_lookup_many_matches_deep_lookup(self):
+        bank = StoreBank(clear_up_interval=3600.0, num_splits=4)
+        entries = [(i, f"key{i}", f"val{i}", 60.0, 0.0) for i in range(50)]
+        bank.put_many(entries)
+        labeled = [(i, f"key{i}") for i in range(70)]
+        batch = bank.deep_lookup_many(labeled)
+        for label, key in labeled:
+            value, _tier = bank.deep_lookup(label, key)
+            assert batch.get(key) == value
+
+    def test_deep_lookup_many_walks_all_tiers(self):
+        bank = StoreBank(clear_up_interval=100.0, num_splits=2)
+        bank.put(1, "long-key", "long-val", 5000.0, 0.0)      # → Long
+        bank.put(2, "rotated", "old-val", 10.0, 0.0)          # → Active
+        bank.put_many([(3, "fresh", "new-val", 10.0, 200.0)])  # rotates
+        found = bank.deep_lookup_many([(1, "long-key"), (2, "rotated"), (3, "fresh")])
+        assert found == {"long-key": "long-val", "rotated": "old-val",
+                         "fresh": "new-val"}
+
+    def test_put_many_rotates_at_each_interval_boundary(self):
+        """A batch spanning several clear-up intervals must rotate exactly
+        where per-record puts would — not once per batch."""
+        single = StoreBank(clear_up_interval=100.0, num_splits=2)
+        batched = StoreBank(clear_up_interval=100.0, num_splits=2)
+        entries = [(i, f"k{i % 10}", f"v{i % 3}", 10.0, float(i * 40))
+                   for i in range(20)]
+        for label, key, value, ttl, ts in entries:
+            single.put(label, key, value, ttl, ts)
+        batched.put_many(entries)
+        assert single.stats.rotations == batched.stats.rotations
+        assert batched.stats.rotations > 1
+        assert single.entry_counts() == batched.entry_counts()
+        assert single.stats.entries_rotated == batched.stats.entries_rotated
+
+    def test_put_many_empty_is_noop(self):
+        bank = StoreBank(clear_up_interval=3600.0)
+        bank.put_many([])
+        assert bank.stats.puts == 0
+
+
+class TestBufferBatch:
+    def test_pop_many_drains_up_to_n(self):
+        buf = BoundedBuffer(capacity=100)
+        buf.push_many(range(10))
+        assert buf.pop_many(4) == [0, 1, 2, 3]
+        assert buf.pop_many(100) == [4, 5, 6, 7, 8, 9]
+        assert buf.stats.popped == 10
+
+    def test_pop_many_timeout_returns_empty(self):
+        buf = BoundedBuffer(capacity=4)
+        assert buf.pop_many(4, timeout=0.01) == []
+
+    def test_pop_many_closed_and_drained(self):
+        buf = BoundedBuffer(capacity=4)
+        buf.push(1)
+        buf.close()
+        assert buf.pop_many(4, timeout=0.01) == [1]
+        assert buf.pop_many(4, timeout=0.01) == []
+
+    def test_push_many_counts_drops(self):
+        buf = BoundedBuffer(capacity=3)
+        assert buf.push_many(range(5)) == 3
+        assert buf.stats.dropped == 2
+        assert buf.stats.offered == 5
+
+    def test_pop_many_wakes_on_push(self):
+        buf = BoundedBuffer(capacity=10)
+        got = []
+
+        def consumer():
+            got.extend(buf.pop_many(10, timeout=2.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        buf.push_many([1, 2, 3])
+        thread.join(timeout=5.0)
+        assert got  # woke up and drained at least the first push
+
+
+class TestWorkerQueueBatch:
+    def test_push_many_pop_many_roundtrip(self):
+        queue = WorkerQueue()
+        assert queue.push_many(range(7)) == 7
+        assert queue.pop_many(3, timeout=0.01) == [0, 1, 2]
+        assert queue.pop_many(10, timeout=0.01) == [3, 4, 5, 6]
+        assert queue.pushed == 7 and queue.popped == 7
+
+    def test_pop_many_closed(self):
+        queue = WorkerQueue()
+        queue.close()
+        assert queue.pop_many(5, timeout=0.01) == []
+
+
+class TestBatchEquivalence:
+    """The batched path must produce the per-record path's results."""
+
+    def _run_per_record(self, dns, flows, config):
+        storage = DnsStorage(config)
+        fillup = FillUpProcessor(storage)
+        for record in dns:
+            fillup.process(record)
+        lookup = LookUpProcessor(storage, config)
+        results = [lookup.process(flow) for flow in flows]
+        return storage, fillup, lookup, results
+
+    def _run_batched(self, dns, flows, config, batch_size=128):
+        storage = DnsStorage(config)
+        fillup = FillUpProcessor(storage)
+        for i in range(0, len(dns), batch_size):
+            fillup.process_batch(dns[i:i + batch_size])
+        lookup = LookUpProcessor(storage, config)
+        results = []
+        for i in range(0, len(flows), batch_size):
+            results.extend(lookup.correlate_batch(flows[i:i + batch_size]))
+        return storage, fillup, lookup, results
+
+    def test_results_and_counters_match(self):
+        dns, flows = _dns_records(), _flows()
+        config = FlowDNSConfig()
+        s1, f1, l1, r1 = self._run_per_record(dns, flows, config)
+        s2, f2, l2, r2 = self._run_batched(dns, flows, config)
+        assert [r.chain for r in r1] == [r.chain for r in r2]
+        assert f1.stats == f2.stats
+        assert l1.stats.matched == l2.stats.matched
+        assert l1.stats.unmatched == l2.stats.unmatched
+        assert l1.stats.bytes_in == l2.stats.bytes_in
+        assert l1.stats.bytes_matched == l2.stats.bytes_matched
+        assert l1.stats.chain_lengths == l2.stats.chain_lengths
+        assert s1.total_entries() == s2.total_entries()
+        assert s1.overwrites() == s2.overwrites()
+
+    def test_direction_both_fallback(self):
+        dns = [DnsRecord(1.0, "dst.example", RRType.A, 300, "10.7.7.7")]
+        flows = [
+            # src misses, dst hits → fallback path
+            FlowRecord(ts=2.0, src_ip="172.16.0.1", dst_ip="10.7.7.7", bytes_=50),
+            # both miss
+            FlowRecord(ts=2.0, src_ip="172.16.0.2", dst_ip="172.16.0.3", bytes_=10),
+        ]
+        config = FlowDNSConfig(direction=FlowDirection.BOTH)
+        _, _, l1, r1 = self._run_per_record(dns, flows, config)
+        _, _, l2, r2 = self._run_batched(dns, flows, config)
+        assert [r.chain for r in r1] == [r.chain for r in r2]
+        assert r2[0].service == "dst.example"
+        assert l1.stats.matched == l2.stats.matched == 1
+
+    def test_empty_and_partial_batches(self):
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        fillup = FillUpProcessor(storage)
+        assert fillup.process_batch([]) == 0
+        assert fillup.stats.records_in == 0
+        # Non-storable record types are counted but skipped.
+        mixed = [
+            DnsRecord(1.0, "a.example", RRType.A, 60, "10.1.1.1"),
+            DnsRecord(1.0, "ns.example", RRType.NS, 60, "ns1.example"),
+        ]
+        assert fillup.process_batch(mixed) == 1
+        assert fillup.stats.records_skipped == 1
+        lookup = LookUpProcessor(storage, config)
+        assert lookup.correlate_batch([]) == []
+        assert lookup.stats.flows_in == 0
+
+    def test_exact_ttl_falls_back_to_per_record(self):
+        config = FlowDNSConfig(exact_ttl=True)
+        storage = DnsStorage(config)
+        FillUpProcessor(storage).process_batch(
+            [DnsRecord(0.0, "a.example", RRType.A, 10, "10.1.1.1")]
+        )
+        lookup = LookUpProcessor(storage, config)
+        flows = [
+            FlowRecord(ts=5.0, src_ip="10.1.1.1", dst_ip="100.64.0.1", bytes_=10),
+            FlowRecord(ts=50.0, src_ip="10.1.1.1", dst_ip="100.64.0.1", bytes_=10),
+        ]
+        results = lookup.correlate_batch(flows)
+        # Per-flow expiry clocks: the 5s flow matches, the 50s flow is past
+        # the 10s TTL — exactly what per-record processing yields.
+        assert results[0].matched and not results[1].matched
+
+
+class TestConcurrentBatchSafety:
+    def test_concurrent_fillup_and_correlate_batch(self):
+        """Concurrent batched fill and batched lookups must not corrupt
+        storage or lose records (the threaded engine's actual access
+        pattern)."""
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        dns = _dns_records(n=4000)
+        flows = _flows(n=8000, services=40)
+        fillup = FillUpProcessor(storage)
+        lookups = [LookUpProcessor(storage, config) for _ in range(2)]
+        errors = []
+
+        def fill():
+            try:
+                for i in range(0, len(dns), 64):
+                    fillup.process_batch(dns[i:i + 64])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def correlate(processor):
+            try:
+                for i in range(0, len(flows), 64):
+                    processor.correlate_batch(flows[i:i + 64])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fill)] + [
+            threading.Thread(target=correlate, args=(p,)) for p in lookups
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors
+        assert fillup.stats.records_in == len(dns)
+        assert sum(p.stats.flows_in for p in lookups) == 2 * len(flows)
+        # After the fill completes, every flow IP must resolve.
+        verify = LookUpProcessor(storage, config)
+        results = verify.correlate_batch(flows)
+        assert all(r.matched for r in results)
+
+
+class TestFacadeBatchPath:
+    def test_add_dns_many_and_correlate_many(self):
+        fd = FlowDNS()
+        dns, flows = _dns_records(), _flows(services=40)
+        stored = fd.add_dns_many(dns)
+        assert stored == len(dns)
+        results = fd.correlate_many(flows)
+        assert len(results) == len(flows)
+        assert all(r.matched for r in results)
+        assert fd.lookup_stats.flows_in == len(flows)
+
+    def test_service_of_uses_probe_not_flow_stats(self):
+        fd = FlowDNS()
+        fd.add_dns(DnsRecord(1.0, "svc.example", RRType.A, 300, "10.1.1.1"))
+        probe = fd._probe
+        assert fd.service_of("10.1.1.1", now=2.0) == "svc.example"
+        assert fd.service_of("10.1.1.1", now=3.0) == "svc.example"
+        # Same probe object reused; flow statistics untouched.
+        assert fd._probe is probe
+        assert fd.lookup_stats.flows_in == 0
+        assert fd.lookup_stats.matched == 0
+
+    def test_service_of_unknown_ip(self):
+        fd = FlowDNS()
+        assert fd.service_of("192.0.2.1", now=1.0) is None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp.asn import DEFAULT_AS_REGISTRY, AsInfo, AsRegistry
+from repro.bgp.asn import AsInfo, AsRegistry
 from repro.bgp.correlate import ServiceAsSeries, correlate_with_bgp
 from repro.bgp.prefix_trie import PrefixTrie
 from repro.bgp.rib import Rib, Route

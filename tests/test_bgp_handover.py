@@ -1,6 +1,6 @@
 """Tests for the hand-over-AS matrix (the planning use case's fallback view)."""
 
-from repro.bgp.correlate import HandoverMatrix, handover_matrix
+from repro.bgp.correlate import handover_matrix
 from repro.bgp.rib import Rib, Route
 from repro.core.lookup import CorrelationResult
 from repro.netflow.records import FlowRecord

@@ -91,9 +91,9 @@ class TestCorrelate:
             "--mapping", mapping_file, "--output", str(output),
         ])
         assert rc == 0
-        lines = [l for l in output.read_text().splitlines() if not l.startswith("#")]
+        lines = [line for line in output.read_text().splitlines() if not line.startswith("#")]
         assert len(lines) == 3
-        assert any("svc.example" in l for l in lines)
+        assert any("svc.example" in line for line in lines)
         stderr = capsys.readouterr().err
         assert "correlated 2/3 flows" in stderr
 
@@ -111,6 +111,31 @@ class TestCorrelate:
         ])
         assert rc == 0
         assert "a.example" in output.read_text()
+
+    @pytest.mark.parametrize("engine", ["threaded", "sharded"])
+    def test_correlate_live_engines(self, mapping_file, csv_inputs, tmp_path,
+                                    capsys, engine):
+        dns, flows = csv_inputs
+        output = tmp_path / "out.tsv"
+        rc = main([
+            "correlate", "--dns", dns, "--flows", flows,
+            "--mapping", mapping_file, "--output", str(output),
+            "--engine", engine, "--shards", "2",
+        ])
+        assert rc == 0
+        lines = [line for line in output.read_text().splitlines()
+                 if not line.startswith("#")]
+        assert len(lines) == 3
+        assert any("svc.example" in line for line in lines)
+        assert "correlated 2/3 flows" in capsys.readouterr().err
+
+    def test_correlate_rejects_unknown_engine(self, mapping_file, csv_inputs):
+        dns, flows = csv_inputs
+        with pytest.raises(SystemExit):
+            main([
+                "correlate", "--dns", dns, "--flows", flows,
+                "--mapping", mapping_file, "--engine", "warp",
+            ])
 
     def test_mapping_without_flow_section_fails(self, tmp_path, csv_inputs, capsys):
         dns, flows = csv_inputs

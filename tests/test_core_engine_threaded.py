@@ -1,9 +1,8 @@
 """Tests for the threaded engine (Figure 1's live pipeline)."""
 
 import io
-import time
 
-import pytest
+from engine_gates import gated_flows
 
 from repro.core.config import FlowDNSConfig
 from repro.core.engine import ThreadedEngine
@@ -31,28 +30,16 @@ def _flows():
     ]
 
 
-class _Delayed:
-    """Iterable that delays its items until the fill side has settled."""
-
-    def __init__(self, items, delay=0.25):
-        self.items = items
-        self.delay = delay
-
-    def __iter__(self):
-        time.sleep(self.delay)
-        return iter(self.items)
-
-
 class TestThreadedPipeline:
     def test_end_to_end_with_record_objects(self):
         sink = io.StringIO()
         engine = ThreadedEngine(FlowDNSConfig(), sink=sink)
-        report = engine.run([_dns_records()], [_Delayed(_flows())])
+        report = engine.run([_dns_records()], [gated_flows(engine, _flows())])
         assert report.dns_records == 3
         assert report.flow_records == 3
         assert report.matched_flows == 2
         assert report.correlated_bytes == 1600
-        rows = [parse_result_line(l) for l in sink.getvalue().splitlines()]
+        rows = [parse_result_line(line) for line in sink.getvalue().splitlines()]
         rows = [r for r in rows if r]
         services = {r["service"] for r in rows}
         assert "svc.example" in services and "plain.example" in services
@@ -65,7 +52,8 @@ class TestThreadedPipeline:
         flows_b = [_flows()[1]]
         engine = ThreadedEngine(FlowDNSConfig())
         report = engine.run(
-            [dns_a, dns_b], [_Delayed(flows_a), _Delayed(flows_b)]
+            [dns_a, dns_b],
+            [gated_flows(engine, flows_a), gated_flows(engine, flows_b)],
         )
         assert report.matched_flows == 2
 
@@ -77,7 +65,7 @@ class TestThreadedPipeline:
         wire = encode_message(msg)
         flows = [FlowRecord(ts=10.0, src_ip="10.3.3.3", dst_ip="100.64.0.1", bytes_=500)]
         engine = ThreadedEngine(FlowDNSConfig())
-        report = engine.run([[(1.0, wire)]], [_Delayed(flows)])
+        report = engine.run([[(1.0, wire)]], [gated_flows(engine, flows)])
         assert report.matched_flows == 1
         assert report.chain_lengths.get(2) == 1
 
@@ -85,7 +73,7 @@ class TestThreadedPipeline:
         flows = _flows()
         datagrams = list(FlowExporter(version=9, batch_size=10).export(flows))
         engine = ThreadedEngine(FlowDNSConfig())
-        report = engine.run([_dns_records()], [_Delayed(datagrams)])
+        report = engine.run([_dns_records()], [gated_flows(engine, datagrams)])
         assert report.flow_records == 3
         assert report.matched_flows == 2
 
@@ -108,7 +96,7 @@ class TestThreadedPipeline:
     def test_exact_ttl_mode_runs(self):
         config = FlowDNSConfig(exact_ttl=True)
         engine = ThreadedEngine(config)
-        report = engine.run([_dns_records()], [_Delayed(_flows())])
+        report = engine.run([_dns_records()], [gated_flows(engine, _flows())])
         assert report.flow_records == 3
 
     def test_empty_run_terminates(self):

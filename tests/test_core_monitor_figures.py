@@ -1,7 +1,8 @@
 """Tests for metrics exposition and figure-data export."""
 
 import io
-import time
+
+from engine_gates import gated_flows
 
 from repro.analysis.figures import (
     ecdf_rows,
@@ -58,15 +59,9 @@ class TestRenderEngine:
     def test_live_engine_metrics(self):
         dns = [DnsRecord(1.0, "a.example", RRType.A, 60, "10.1.1.1")]
 
-        class Delayed:
-            def __iter__(self):
-                time.sleep(0.15)
-                return iter(
-                    [FlowRecord(ts=2.0, src_ip="10.1.1.1", dst_ip="100.64.0.1", bytes_=10)]
-                )
-
         engine = ThreadedEngine(FlowDNSConfig())
-        engine.run([dns], [Delayed()])
+        flows = [FlowRecord(ts=2.0, src_ip="10.1.1.1", dst_ip="100.64.0.1", bytes_=10)]
+        engine.run([dns], [gated_flows(engine, flows)])
         metrics = parse_exposition(render_engine(engine))
         assert metrics['flowdns_stream_offered_total{stream="dns[0]"}'] == 1.0
         assert metrics["flowdns_write_rows"] == 1.0

@@ -66,7 +66,7 @@ class TestBasicRun:
         sink = io.StringIO()
         dns, flows = _basic_streams()
         SimulationEngine(FlowDNSConfig(), sink=sink).run(dns, flows)
-        rows = [l for l in sink.getvalue().splitlines() if not l.startswith("#")]
+        rows = [line for line in sink.getvalue().splitlines() if not line.startswith("#")]
         assert len(rows) == 3
 
     def test_on_result_hook(self):

@@ -7,6 +7,8 @@ quantitative ones on longer horizons.
 
 import pytest
 
+from engine_gates import gated_flows
+
 from repro.analysis import (
     ResultRecorder,
     ServiceBytesCollector,
@@ -22,7 +24,7 @@ from repro.core.config import FlowDNSConfig
 from repro.core.engine import ThreadedEngine
 from repro.core.simulation import SimulationEngine
 from repro.core.variants import Variant
-from repro.workloads.isp import IspWorkload, large_isp
+from repro.workloads.isp import large_isp
 from repro.workloads.pcaplike import two_site_capture
 
 
@@ -178,14 +180,8 @@ class TestThreadedMatchesSimulation:
         flows = list(tiny_workload.flow_records())
         sim = SimulationEngine(FlowDNSConfig()).run(iter(dns), iter(flows))
 
-        import time
-
-        class Delayed:
-            def __iter__(self):
-                time.sleep(0.4)
-                return iter(flows)
-
-        threaded = ThreadedEngine(FlowDNSConfig()).run([dns], [Delayed()])
+        engine = ThreadedEngine(FlowDNSConfig())
+        threaded = engine.run([dns], [gated_flows(engine, flows)])
         # Threaded runs race DNS vs flows only at the margin; totals match.
         assert threaded.flow_records == sim.flow_records
         assert abs(threaded.correlation_rate - sim.correlation_rate) < 0.05

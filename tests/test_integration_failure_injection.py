@@ -7,9 +7,8 @@ pipeline keeps correlating everything else.
 """
 
 import random
-import time
 
-import pytest
+from engine_gates import gated_flows
 
 from repro.core.config import FlowDNSConfig
 from repro.core.engine import ThreadedEngine
@@ -30,15 +29,6 @@ def _good_wire(i):
     return encode_message(msg)
 
 
-class _Delayed:
-    def __init__(self, items, delay=0.25):
-        self.items, self.delay = items, delay
-
-    def __iter__(self):
-        time.sleep(self.delay)
-        return iter(self.items)
-
-
 class TestCorruptedDnsStream:
     def test_bit_flipped_messages_dropped_rest_correlates(self):
         rng = random.Random(0)
@@ -54,7 +44,7 @@ class TestCorruptedDnsStream:
             for i in range(40)
         ]
         engine = ThreadedEngine(FlowDNSConfig())
-        report = engine.run([items], [_Delayed(flows)])
+        report = engine.run([items], [gated_flows(engine, flows)])
         # At least the 30 untouched messages must correlate. (A flipped
         # message may still parse if the flips hit benign fields.)
         assert report.matched_flows >= 28
@@ -65,7 +55,7 @@ class TestCorruptedDnsStream:
         items = [(0.0, _good_wire(0)[:10]), (1.0, _good_wire(1))]
         engine = ThreadedEngine(FlowDNSConfig())
         flows = [FlowRecord(ts=10.0, src_ip="10.9.0.2", dst_ip="100.64.0.1", bytes_=5)]
-        report = engine.run([items], [_Delayed(flows)])
+        report = engine.run([items], [gated_flows(engine, flows)])
         assert report.matched_flows == 1
 
 
@@ -170,6 +160,6 @@ class TestMixedVersionDatagramStream:
             for i in range(10)
         ]
         engine = ThreadedEngine(FlowDNSConfig())
-        report = engine.run([dns], [_Delayed(datagrams)])
+        report = engine.run([dns], [gated_flows(engine, datagrams)])
         assert report.flow_records == 30
         assert report.matched_flows == 30
