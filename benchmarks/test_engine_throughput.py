@@ -24,6 +24,7 @@ from repro.core.storage_adapter import DnsStorage
 from repro.dns.rr import RRType
 from repro.dns.stream import DnsRecord
 from repro.netflow.records import FlowRecord
+from repro.util.benchio import record_bench
 
 N_RECORDS = 20_000
 
@@ -127,6 +128,8 @@ def test_batched_beats_per_record(prepared_records):
 
     t_single = timed(per_record)
     t_batch = timed(batched)
+    record_bench("engine_batched_speedup", round(t_single / t_batch, 2))
+    record_bench("engine_batched_flows_per_sec", round(len(flows) / t_batch))
     assert t_single / t_batch >= 2.0, (
         f"batched path only {t_single / t_batch:.2f}x faster "
         f"({t_single:.3f}s vs {t_batch:.3f}s)"

@@ -35,7 +35,9 @@ class FillUpProcessor:
         self.storage = storage
         self.stats = FillUpStats()
 
-    def filter_message(self, ts: float, payload: Union[bytes, DnsMessage]) -> list:
+    def filter_message(
+        self, ts: float, payload: Union[bytes, bytearray, memoryview, DnsMessage]
+    ) -> list:
         """Step 2's validity filter: wire bytes/message → stream records.
 
         Invalid payloads (unparseable, queries, error responses) yield an
@@ -43,9 +45,11 @@ class FillUpProcessor:
         must not take the FillUp path down.
         """
         self.stats.raw_messages += 1
-        if isinstance(payload, (bytes, bytearray)):
+        if isinstance(payload, (bytes, bytearray, memoryview)):
             try:
-                message = decode_message(bytes(payload))
+                # Zero-copy: the decoder reads wire bytes (or a memoryview
+                # over a larger capture buffer) in place.
+                message = decode_message(payload)
             except ParseError:
                 self.stats.invalid += 1
                 return []

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 from repro.core.config import FlowDNSConfig
 from repro.core.storage_adapter import DnsStorage
 from repro.netflow.records import FlowDirection, FlowRecord
+from repro.util.interning import intern_string
 
 
 @dataclass(frozen=True)
@@ -76,10 +77,17 @@ class LookUpStats:
 class LookUpProcessor:
     """Correlates flow records against the DNS storage (Algorithm 2)."""
 
+    #: Cap on the address→text memo; cleared wholesale when exceeded.
+    _IP_TEXT_CACHE_MAX = 1 << 16
+
     def __init__(self, storage: DnsStorage, config: FlowDNSConfig):
         self.storage = storage
         self.config = config
         self.stats = LookUpStats()
+        # address object -> interned text, persistent across batches so a
+        # hot IP is stringified and hashed once per processor lifetime,
+        # and the text object is the same one FillUp interned as map key.
+        self._ip_text_cache: dict = {}
 
     def is_valid(self, flow: FlowRecord) -> bool:
         """Step 2's flow filter: discard flows without usable counters."""
@@ -138,9 +146,12 @@ class LookUpProcessor:
         now = batch[0].ts
 
         # Pass 1: validity filter + primary lookup key per flow. The str()
-        # conversion is cached per distinct address object.
+        # conversion is cached per distinct address object (persistently,
+        # across batches) and the text is interned.
         primaries: List[Optional[str]] = [None] * len(batch)
-        str_cache: dict = {}
+        if len(self._ip_text_cache) > self._IP_TEXT_CACHE_MAX:
+            self._ip_text_cache.clear()
+        str_cache = self._ip_text_cache
         cache_get = str_cache.get
         invalid = 0
         for i, flow in enumerate(batch):
@@ -150,7 +161,7 @@ class LookUpProcessor:
             ip = flow.src_ip if use_src else flow.dst_ip
             text = cache_get(ip)
             if text is None:
-                text = str(ip)
+                text = intern_string(str(ip))
                 str_cache[ip] = text
             primaries[i] = text
 
@@ -175,7 +186,7 @@ class LookUpProcessor:
                     continue
                 dst = str_cache.get(flow.dst_ip)
                 if dst is None:
-                    dst = str(flow.dst_ip)
+                    dst = intern_string(str(flow.dst_ip))
                     str_cache[flow.dst_ip] = dst
                 fallbacks[i] = dst
                 if dst not in chains:

@@ -79,14 +79,10 @@ class DnsStorage:
         """Batched Algorithm-1 insert (the engines' fast path).
 
         For the rotating store this costs one rotation check per bank and
-        one lock acquisition per touched map shard for the whole batch; the
-        exact-TTL store keeps per-record semantics (its expiry sweeps are
-        timestamp-driven per put).
+        one lock acquisition per touched map shard for the whole batch;
+        the exact-TTL store batches the same way (its expiry sweeps are
+        timestamp-driven through :meth:`tick`, never by puts).
         """
-        if self._ip_exact is not None:
-            for record in records:
-                self.add_record(record)
-            return
         ip_entries = []
         cname_entries = []
         for record in records:
@@ -100,6 +96,12 @@ class DnsStorage:
                     (name_label(record.answer), record.answer, record.query,
                      record.ttl, record.ts)
                 )
+        if self._ip_exact is not None:
+            if ip_entries:
+                self._ip_exact.put_many(ip_entries)
+            if cname_entries:
+                self._cname_exact.put_many(cname_entries)
+            return
         if ip_entries:
             self._ip_bank.put_many(ip_entries)
         if cname_entries:

@@ -5,13 +5,31 @@ zero-length root label, optionally ending in a compression pointer
 (RFC 1035 §4.1.4). The decoder follows pointers with a strict visited-set so
 malicious or corrupt messages with pointer loops raise :class:`ParseError`
 instead of spinning.
+
+The decoder works over ``bytes`` or ``memoryview`` alike (so a whole
+message can be parsed without intermediate copies), takes an optional
+per-message offset cache so a compression-pointer chain is chased once
+per message rather than once per referring record, and interns decoded
+names so identical names across messages are one shared string object —
+the form the storage layer's hash caches key on.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.util.errors import ParseError
+from repro.util.interning import intern_string
+
+WireData = Union[bytes, bytearray, memoryview]
+
+#: Per-message name cache: start offset -> (name, next_offset, wire_len,
+#: raw_name). ``wire_len`` is the name's uncompressed encoded length
+#: including the root byte (keeps the 255-byte limit exact on cache
+#: hits); ``raw_name`` is the label join *before* normalization, so a
+#: pointer splicing a cached suffix under new head labels normalizes the
+#: combined name exactly once, the way the uncached path does.
+NameCache = Dict[int, Tuple[str, int, int, str]]
 
 MAX_NAME_WIRE_LENGTH = 255
 MAX_LABEL_LENGTH = 63
@@ -58,24 +76,39 @@ def encode_name(name: str) -> bytes:
     return bytes(out)
 
 
-def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+def decode_name(
+    data: WireData, offset: int, cache: Optional[NameCache] = None
+) -> Tuple[str, int]:
     """Decode a (possibly compressed) name starting at ``offset``.
 
     Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
     past the name *in the original stream* (i.e. past the pointer if the
     name was compressed).
+
+    ``data`` may be ``bytes`` or a ``memoryview`` over the message.
+    ``cache``, when given, memoises decoded names by start offset for the
+    lifetime of one message: a pointer landing on a previously decoded
+    name's offset splices the cached suffix instead of re-chasing the
+    chain, and the 255-byte wire limit stays exact because the cache
+    carries each name's uncompressed encoded length.
     """
+    if cache is not None:
+        hit = cache.get(offset)
+        if hit is not None:
+            return hit[0], hit[1]
     labels: List[str] = []
     pos = offset
     next_offset = -1
     visited = set()
     wire_budget = 0
+    tail: Optional[Tuple[str, int, int, str]] = None
+    data_len = len(data)
     while True:
-        if pos >= len(data):
+        if pos >= data_len:
             raise ParseError("truncated name")
         length = data[pos]
         if length & _POINTER_MASK == _POINTER_MASK:
-            if pos + 1 >= len(data):
+            if pos + 1 >= data_len:
                 raise ParseError("truncated compression pointer")
             target = ((length & 0x3F) << 8) | data[pos + 1]
             if next_offset < 0:
@@ -85,6 +118,10 @@ def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
             if target >= pos:
                 raise ParseError("forward compression pointer")
             visited.add(target)
+            if cache is not None:
+                tail = cache.get(target)
+                if tail is not None:
+                    break
             pos = target
             continue
         if length & _POINTER_MASK:
@@ -93,17 +130,34 @@ def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
             if next_offset < 0:
                 next_offset = pos + 1
             break
-        if pos + 1 + length > len(data):
+        if pos + 1 + length > data_len:
             raise ParseError("truncated label")
         wire_budget += 1 + length
         if wire_budget + 1 > MAX_NAME_WIRE_LENGTH:
             raise ParseError("decoded name exceeds 255 bytes")
         labels.append(
-            data[pos + 1 : pos + 1 + length].decode("utf-8", errors="surrogateescape")
+            str(data[pos + 1 : pos + 1 + length], "utf-8", "surrogateescape")
         )
         pos += 1 + length
-    name = ".".join(labels) if labels else "."
-    return normalize_name(name), next_offset
+    if tail is not None:
+        tail_raw = tail[3]
+        # tail wire length includes the root byte; total must still fit 255.
+        wire_budget += tail[2] - 1
+        if wire_budget + 1 > MAX_NAME_WIRE_LENGTH:
+            raise ParseError("decoded name exceeds 255 bytes")
+        if labels:
+            if tail_raw == ".":
+                raw_name = ".".join(labels)
+            else:
+                raw_name = ".".join(labels) + "." + tail_raw
+        else:
+            raw_name = tail_raw
+    else:
+        raw_name = ".".join(labels) if labels else "."
+    name = intern_string(normalize_name(raw_name))
+    if cache is not None:
+        cache[offset] = (name, next_offset, wire_budget + 1, raw_name)
+    return name, next_offset
 
 
 class NameCompressor:

@@ -12,10 +12,11 @@ import ipaddress
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Union
+from typing import Optional, Union
 
-from repro.dns.name import decode_name, normalize_name
+from repro.dns.name import NameCache, WireData, decode_name, normalize_name
 from repro.util.errors import ParseError
+from repro.util.interning import cached_ip_address, intern_string
 
 
 class RRType(IntEnum):
@@ -61,13 +62,15 @@ class ResourceRecord:
     def __post_init__(self):
         if self.ttl < 0:
             raise ParseError(f"negative TTL on {self.name!r}")
-        object.__setattr__(self, "name", normalize_name(self.name))
+        # Interned: owner names and name-typed rdata feed the storage maps,
+        # where one shared object per distinct name keeps hashing cached.
+        object.__setattr__(self, "name", intern_string(normalize_name(self.name)))
         if self.rtype == RRType.A and not isinstance(self.rdata, ipaddress.IPv4Address):
             object.__setattr__(self, "rdata", ipaddress.IPv4Address(self.rdata))
         elif self.rtype == RRType.AAAA and not isinstance(self.rdata, ipaddress.IPv6Address):
             object.__setattr__(self, "rdata", ipaddress.IPv6Address(self.rdata))
         elif self.rtype in _NAME_RDATA_TYPES and isinstance(self.rdata, str):
-            object.__setattr__(self, "rdata", normalize_name(self.rdata))
+            object.__setattr__(self, "rdata", intern_string(normalize_name(self.rdata)))
 
     @property
     def is_address(self) -> bool:
@@ -102,11 +105,19 @@ def cname_record(name: str, target: str, ttl: int) -> ResourceRecord:
     return ResourceRecord(name, RRType.CNAME, RClass.IN, ttl, normalize_name(target))
 
 
-def decode_rdata(rtype: RRType, data: bytes, offset: int, rdlength: int):
+def decode_rdata(
+    rtype: RRType,
+    data: WireData,
+    offset: int,
+    rdlength: int,
+    cache: Optional[NameCache] = None,
+):
     """Decode the RDATA section of one record from a full message buffer.
 
     Needs the whole message (not just the RDATA slice) because name-typed
-    RDATA may contain compression pointers into earlier parts.
+    RDATA may contain compression pointers into earlier parts. ``data``
+    may be bytes or a memoryview; ``cache`` is the message's shared name
+    cache (see :func:`repro.dns.name.decode_name`).
     """
     end = offset + rdlength
     if end > len(data):
@@ -114,18 +125,18 @@ def decode_rdata(rtype: RRType, data: bytes, offset: int, rdlength: int):
     if rtype == RRType.A:
         if rdlength != 4:
             raise ParseError(f"A record rdlength {rdlength} != 4")
-        return ipaddress.IPv4Address(data[offset:end])
+        return cached_ip_address(bytes(data[offset:end]))
     if rtype == RRType.AAAA:
         if rdlength != 16:
             raise ParseError(f"AAAA record rdlength {rdlength} != 16")
-        return ipaddress.IPv6Address(data[offset:end])
+        return cached_ip_address(bytes(data[offset:end]))
     if rtype in _NAME_RDATA_TYPES:
-        name, _ = decode_name(data, offset)
+        name, _ = decode_name(data, offset, cache)
         return name
     if rtype == RRType.MX:
         if rdlength < 3:
             raise ParseError("MX record too short")
         pref = struct.unpack_from("!H", data, offset)[0]
-        exchange, _ = decode_name(data, offset + 2)
+        exchange, _ = decode_name(data, offset + 2, cache)
         return (pref, exchange)
     return bytes(data[offset:end])

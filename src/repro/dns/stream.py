@@ -16,6 +16,7 @@ from typing import List
 from repro.dns.name import normalize_name
 from repro.dns.rr import RRType
 from repro.dns.wire import DnsMessage
+from repro.util.interning import intern_string
 
 
 def is_address_type(rtype: RRType) -> bool:
@@ -40,9 +41,14 @@ class DnsRecord:
     answer: str
 
     def __post_init__(self):
-        object.__setattr__(self, "query", normalize_name(self.query))
+        # Interned: the query/answer strings are the storage layer's map
+        # keys, and sharing one object per distinct name keeps the shard
+        # hash caches hot and the maps free of duplicate key storage.
+        object.__setattr__(self, "query", intern_string(normalize_name(self.query)))
         if self.rtype == RRType.CNAME:
-            object.__setattr__(self, "answer", normalize_name(self.answer))
+            object.__setattr__(self, "answer", intern_string(normalize_name(self.answer)))
+        else:
+            object.__setattr__(self, "answer", intern_string(self.answer))
 
     @property
     def is_address(self) -> bool:
@@ -68,6 +74,7 @@ def records_from_message(ts: float, msg: DnsMessage) -> List[DnsRecord]:
     out: List[DnsRecord] = []
     for rr in msg.answers:
         if rr.is_address:
+            # DnsRecord.__post_init__ interns the answer text itself.
             out.append(DnsRecord(ts, rr.name, rr.rtype, rr.ttl, str(rr.rdata)))
         elif rr.is_cname:
             out.append(DnsRecord(ts, rr.name, rr.rtype, rr.ttl, rr.rdata))

@@ -12,9 +12,16 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.dns.name import NameCompressor, decode_name, encode_name, normalize_name
+from repro.dns.name import (
+    NameCache,
+    NameCompressor,
+    WireData,
+    decode_name,
+    encode_name,
+    normalize_name,
+)
 from repro.dns.rr import RClass, RRType, ResourceRecord, decode_rdata
 from repro.util.errors import ParseError
 
@@ -170,8 +177,10 @@ def encode_message(msg: DnsMessage) -> bytes:
     return bytes(out)
 
 
-def _decode_question(data: bytes, offset: int) -> Tuple[Question, int]:
-    qname, offset = decode_name(data, offset)
+def _decode_question(
+    data: WireData, offset: int, cache: Optional[NameCache]
+) -> Tuple[Question, int]:
+    qname, offset = decode_name(data, offset, cache)
     if offset + _QFIXED.size > len(data):
         raise ParseError("truncated question")
     qtype_raw, qclass_raw = _QFIXED.unpack_from(data, offset)
@@ -183,8 +192,10 @@ def _decode_question(data: bytes, offset: int) -> Tuple[Question, int]:
     return Question(qname, qtype, qclass), offset + _QFIXED.size
 
 
-def _decode_rr(data: bytes, offset: int) -> Tuple[ResourceRecord, int]:
-    name, offset = decode_name(data, offset)
+def _decode_rr(
+    data: WireData, offset: int, cache: Optional[NameCache]
+) -> Tuple[ResourceRecord, int]:
+    name, offset = decode_name(data, offset, cache)
     if offset + _RRFIXED.size > len(data):
         raise ParseError("truncated resource record")
     rtype_raw, rclass_raw, ttl, rdlength = _RRFIXED.unpack_from(data, offset)
@@ -197,23 +208,32 @@ def _decode_rr(data: bytes, offset: int) -> Tuple[ResourceRecord, int]:
         rclass = RClass(rclass_raw)
     except ValueError as exc:
         raise ParseError(f"unknown rclass {rclass_raw}") from exc
-    rdata = decode_rdata(rtype, data, offset, rdlength)
+    rdata = decode_rdata(rtype, data, offset, rdlength, cache)
     return ResourceRecord(name, rtype, rclass, ttl, rdata), offset + rdlength
 
 
-def decode_message(data: bytes) -> DnsMessage:
-    """Parse a wire-format DNS message; raises ParseError on corruption."""
+def decode_message(data: WireData, use_name_cache: bool = True) -> DnsMessage:
+    """Parse a wire-format DNS message; raises ParseError on corruption.
+
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview`` — the
+    decoder reads through one memoryview without copying section slices.
+    ``use_name_cache=False`` disables the per-message name-offset cache
+    (every compression chain re-chased); it is the reference path the
+    differential tests compare against and decodes identically.
+    """
     if len(data) < _HEADER.size:
         raise ParseError("message shorter than header")
-    msg_id, flags, qd, an, ns, ar = _HEADER.unpack_from(data, 0)
+    buf = data if isinstance(data, memoryview) else memoryview(data)
+    msg_id, flags, qd, an, ns, ar = _HEADER.unpack_from(buf, 0)
     header = Header.from_flags_word(msg_id, flags)
     msg = DnsMessage(header=header)
+    cache: Optional[NameCache] = {} if use_name_cache else None
     offset = _HEADER.size
     for _ in range(qd):
-        question, offset = _decode_question(data, offset)
+        question, offset = _decode_question(buf, offset, cache)
         msg.questions.append(question)
     for count, section in ((an, msg.answers), (ns, msg.authorities), (ar, msg.additionals)):
         for _ in range(count):
-            rr, offset = _decode_rr(data, offset)
+            rr, offset = _decode_rr(buf, offset, cache)
             section.append(rr)
     return msg

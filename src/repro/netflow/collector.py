@@ -36,12 +36,27 @@ class CollectorStats:
         self.by_version[version] = self.by_version.get(version, 0) + 1
 
 
+def probe_version(datagram: bytes) -> int:
+    """Return the datagram's 16-bit version field.
+
+    Raises :class:`ParseError` (never ``struct.error``) when the datagram
+    is shorter than the 2-byte probe — a truncated export must surface as
+    the same error family every other malformed input does.
+    """
+    if len(datagram) < 2:
+        raise ParseError(
+            f"datagram shorter than the 2-byte version probe ({len(datagram)} bytes)"
+        )
+    (version,) = struct.unpack_from("!H", datagram, 0)
+    return version
+
+
 class FlowCollector:
     """Decode NetFlow v5 / v9 / IPFIX datagrams into flow records."""
 
-    def __init__(self) -> None:
-        self._v9 = V9Session()
-        self._ipfix = IpfixSession()
+    def __init__(self, use_compiled: bool = True) -> None:
+        self._v9 = V9Session(use_compiled=use_compiled)
+        self._ipfix = IpfixSession(use_compiled=use_compiled)
         self.stats = CollectorStats()
 
     def ingest(self, datagram: bytes) -> List[FlowRecord]:
@@ -50,11 +65,8 @@ class FlowCollector:
         Returns the decoded flows (possibly empty, e.g. for a pure
         template datagram).
         """
-        if len(datagram) < 2:
-            self.stats.malformed += 1
-            return []
-        (version,) = struct.unpack_from("!H", datagram, 0)
         try:
+            version = probe_version(datagram)
             if version == 5:
                 _, flows = decode_v5(datagram)
             elif version == 9:

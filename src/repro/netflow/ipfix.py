@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import ipaddress
 import struct
-from typing import Dict, Iterable, List, Optional, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.netflow.compiled import compile_decoder
 from repro.netflow.records import FlowRecord
 from repro.netflow.v9 import (
     FIELD_NAMES,
@@ -125,11 +127,31 @@ def encode_ipfix_data(
     return _pack_message(set_header + bytes(body) + b"\x00" * padding, export_secs, sequence, domain_id)
 
 
-class IpfixSession:
-    """Stateful IPFIX collector: template cache keyed by observation domain."""
+@lru_cache(maxsize=256)
+def compiled_ipfix_decoder(template: TemplateRecord) -> Callable[..., List[FlowRecord]]:
+    """One compiled ``decode(payload, export_secs)`` per template."""
+    return compile_decoder(
+        template,
+        FIELD_NAMES,
+        frozenset({IPV4_SRC_ADDR, IPV6_SRC_ADDR}),
+        frozenset({IPV4_DST_ADDR, IPV6_DST_ADDR}),
+        FLOW_END_MILLISECONDS,
+        "absolute_ms",
+    )
 
-    def __init__(self) -> None:
+
+class IpfixSession:
+    """Stateful IPFIX collector: template cache keyed by observation domain.
+
+    Like :class:`repro.netflow.v9.V9Session`, data sets decode through the
+    compiled per-template decoder unless ``use_compiled=False`` selects the
+    per-field reference implementation.
+    """
+
+    def __init__(self, use_compiled: bool = True) -> None:
+        self.use_compiled = use_compiled
         self._templates: Dict[Tuple[int, int], TemplateRecord] = {}
+        self._decoders: Dict[Tuple[int, int], Callable[..., List[FlowRecord]]] = {}
 
     def template_for(self, domain_id: int, template_id: int) -> Optional[TemplateRecord]:
         return self._templates.get((domain_id, template_id))
@@ -152,9 +174,17 @@ class IpfixSession:
             if set_id == TEMPLATE_SET_ID:
                 self._learn_templates(domain_id, payload)
             elif set_id >= 256:
-                tmpl = self._templates.get((domain_id, set_id))
+                key = (domain_id, set_id)
+                tmpl = self._templates.get(key)
                 if tmpl is not None:
-                    flows.extend(self._decode_data(tmpl, payload, export_secs))
+                    if self.use_compiled:
+                        decoder = self._decoders.get(key)
+                        if decoder is None:
+                            decoder = compiled_ipfix_decoder(tmpl)
+                            self._decoders[key] = decoder
+                        flows.extend(decoder(payload, export_secs))
+                    else:
+                        flows.extend(self._decode_data_reference(tmpl, payload, export_secs))
             offset += set_len
         return flows
 
@@ -172,11 +202,20 @@ class IpfixSession:
                 ftype, flen = struct.unpack_from("!HH", payload, offset)
                 fields.append(TemplateField(ftype, flen))
                 offset += 4
-            self._templates[(domain_id, template_id)] = TemplateRecord(template_id, tuple(fields))
+            key = (domain_id, template_id)
+            tmpl = TemplateRecord(template_id, tuple(fields))
+            self._templates[key] = tmpl
+            if self.use_compiled:
+                self._decoders[key] = compiled_ipfix_decoder(tmpl)
 
-    def _decode_data(self, tmpl: TemplateRecord, payload: bytes, export_secs: int) -> List[FlowRecord]:
+    def _decode_data_reference(
+        self, tmpl: TemplateRecord, payload: bytes, export_secs: int
+    ) -> List[FlowRecord]:
+        """Per-field reference decoder (the compiled path's ground truth)."""
         flows: List[FlowRecord] = []
         rec_len = tmpl.record_length
+        if rec_len == 0:
+            return flows  # zero-field template: nothing to decode, don't spin
         offset = 0
         while offset + rec_len <= len(payload):
             values: Dict[str, int] = {}

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Union
 
+from repro.util.interning import cached_ip_address
+
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
 
@@ -49,9 +51,9 @@ class FlowRecord:
 
     def __post_init__(self):
         if not isinstance(self.src_ip, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
-            object.__setattr__(self, "src_ip", ipaddress.ip_address(self.src_ip))
+            object.__setattr__(self, "src_ip", cached_ip_address(self.src_ip))
         if not isinstance(self.dst_ip, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
-            object.__setattr__(self, "dst_ip", ipaddress.ip_address(self.dst_ip))
+            object.__setattr__(self, "dst_ip", cached_ip_address(self.dst_ip))
         if self.packets < 0 or self.bytes_ < 0:
             raise ValueError("flow counters must be non-negative")
         if not (0 <= self.src_port <= 65535 and 0 <= self.dst_port <= 65535):

@@ -8,12 +8,12 @@ format defines; FlowDNS itself consumes only the subset carried into
 
 from __future__ import annotations
 
-import ipaddress
 import struct
 from typing import Iterable, List, Tuple
 
 from repro.netflow.records import FlowRecord
 from repro.util.errors import ParseError
+from repro.util.interning import cached_ip_address
 
 V5_HEADER = struct.Struct("!HHIIIIBBH")
 V5_RECORD = struct.Struct("!IIIHHIIIIHHBBBBHHBBH")
@@ -111,8 +111,11 @@ def decode_v5(datagram: bytes) -> Tuple[dict, List[FlowRecord]]:
         "engine_id": engine_id,
     }
     flows: List[FlowRecord] = []
-    for i in range(count):
-        fields = V5_RECORD.unpack_from(datagram, V5_HEADER_LEN + i * V5_RECORD_LEN)
+    # One bulk iter_unpack pass over the record block instead of a
+    # per-record unpack_from; parsed addresses are shared via the
+    # bounded intern cache (exporter pools repeat a small IP set).
+    body = datagram[V5_HEADER_LEN : V5_HEADER_LEN + count * V5_RECORD_LEN]
+    for fields in V5_RECORD.iter_unpack(body):
         (src, dst, _nexthop, in_if, out_if, packets, octets, _start, end,
          sport, dport, _pad1, tcp_flags, proto, tos, src_as, dst_as,
          src_mask, dst_mask, _pad2) = fields
@@ -120,8 +123,8 @@ def decode_v5(datagram: bytes) -> Tuple[dict, List[FlowRecord]]:
         flows.append(
             FlowRecord(
                 ts=ts,
-                src_ip=ipaddress.IPv4Address(src),
-                dst_ip=ipaddress.IPv4Address(dst),
+                src_ip=cached_ip_address(src),
+                dst_ip=cached_ip_address(dst),
                 src_port=sport,
                 dst_port=dport,
                 protocol=proto,

@@ -13,6 +13,7 @@ implemented faithfully.
 from __future__ import annotations
 
 import threading
+from functools import lru_cache
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.util.errors import ConfigError
@@ -20,14 +21,28 @@ from repro.util.errors import ConfigError
 #: Go concurrent-map's default shard count.
 DEFAULT_SHARD_COUNT = 32
 
+#: Sentinel distinguishing "key absent" from "key stores None".
+_MISSING = object()
+
 
 def _fnv1a(key: str) -> int:
-    """FNV-1a over the UTF-8 bytes — the same shard hash concurrent-map uses."""
+    """FNV-1a over the UTF-8 bytes — the same shard hash concurrent-map uses.
+
+    This is the uncached reference; the hot paths go through
+    :func:`fnv1a_cached` so each distinct (interned) key pays the
+    per-byte Python loop once, not once per map operation.
+    """
     h = 0x811C9DC5
     for byte in key.encode("utf-8", errors="surrogateescape"):
         h ^= byte
         h = (h * 0x01000193) & 0xFFFFFFFF
     return h
+
+
+#: Bounded LRU over the pure-Python per-byte loop. Keys are the interned
+#: hot strings (IP texts, domain names), so the common case is a C-level
+#: dict hit on an object whose hash is already memoised.
+fnv1a_cached = lru_cache(maxsize=1 << 16)(_fnv1a)
 
 
 class ConcurrentMap:
@@ -42,7 +57,18 @@ class ConcurrentMap:
         self.contended_acquisitions = 0
 
     def _shard_index(self, key: str) -> int:
-        return _fnv1a(key) % self.shard_count
+        return fnv1a_cached(key) % self.shard_count
+
+    def shard_index_many(self, keys: Iterable[str]) -> List[int]:
+        """Shard index per key, hashing each distinct key at most once.
+
+        The batch entry point ``set_many``/``get_many`` use so a batch
+        touching one hot key N times costs one cache probe per touch and
+        zero re-hashing.
+        """
+        hash_of = fnv1a_cached
+        count = self.shard_count
+        return [hash_of(key) % count for key in keys]
 
     def _acquire(self, idx: int) -> None:
         lock = self._locks[idx]
@@ -64,20 +90,20 @@ class ConcurrentMap:
         Insertion order is preserved within each shard, so repeated keys
         keep last-write-wins semantics. Returns the number of keys whose
         previous value existed and differed (the fill path's overwrite
-        counter).
+        counter); a stored value of ``None`` counts as existing.
         """
+        batch = pairs if isinstance(pairs, list) else list(pairs)
         by_shard: Dict[int, List[Tuple[str, object]]] = {}
-        shard_of = self._shard_index
-        for pair in pairs:
-            by_shard.setdefault(shard_of(pair[0]), []).append(pair)
+        for pair, idx in zip(batch, self.shard_index_many(p[0] for p in batch)):
+            by_shard.setdefault(idx, []).append(pair)
         replaced = 0
         for idx, kvs in by_shard.items():
             self._acquire(idx)
             try:
                 shard = self._shards[idx]
                 for key, value in kvs:
-                    previous = shard.get(key)
-                    if previous is not None and previous != value:
+                    previous = shard.get(key, _MISSING)
+                    if previous is not _MISSING and previous != value:
                         replaced += 1
                     shard[key] = value
             finally:
@@ -90,10 +116,10 @@ class ConcurrentMap:
         Returns a dict of the keys that were present; missing keys are
         simply absent from the result.
         """
+        key_list = keys if isinstance(keys, list) else list(keys)
         by_shard: Dict[int, List[str]] = {}
-        shard_of = self._shard_index
-        for key in keys:
-            by_shard.setdefault(shard_of(key), []).append(key)
+        for key, idx in zip(key_list, self.shard_index_many(key_list)):
+            by_shard.setdefault(idx, []).append(key)
         out: Dict[str, object] = {}
         for idx, ks in by_shard.items():
             self._acquire(idx)

@@ -13,7 +13,7 @@ charged to the CPU budget, starving the ingest path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.storage.concurrent_map import DEFAULT_SHARD_COUNT, ConcurrentMap
 from repro.util.errors import ConfigError
@@ -56,6 +56,24 @@ class ExactTtlStore:
         """Store a record that will expire at ``ts + ttl``."""
         self._maps[self._split(label)].set(key, (value, ts + ttl))
         self.stats.puts += 1
+
+    def put_many(self, entries: Iterable[Tuple[int, str, str, float, float]]) -> None:
+        """Batched :meth:`put` of ``(label, key, value, ttl, ts)`` records.
+
+        Same final state and counters as per-record puts (sweeps stay
+        timestamp-driven via :meth:`maybe_sweep`, which puts never run),
+        but one lock acquisition per touched shard and one cached shard
+        hash per distinct key.
+        """
+        by_split: Dict[int, List[Tuple[str, Tuple[str, float]]]] = {}
+        split = self._split
+        count = 0
+        for label, key, value, ttl, ts in entries:
+            by_split.setdefault(split(label), []).append((key, (value, ts + ttl)))
+            count += 1
+        for n, pairs in by_split.items():
+            self._maps[n].set_many(pairs)
+        self.stats.puts += count
 
     def lookup(self, label: int, key: str, now: float) -> Optional[str]:
         """Return the value only while the record's own TTL is live.

@@ -1,0 +1,44 @@
+"""Benchmark result sink shared by the perf gate tests.
+
+The acceptance gates (codec and engine throughput) measure real ratios
+on whatever machine runs them; this module lets each gate drop its
+numbers into one JSON file (``BENCH_pr2.json`` by default, overridable
+via ``$BENCH_JSON``) so CI can upload the file as an artifact and the
+perf trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+DEFAULT_BENCH_FILE = "BENCH_pr2.json"
+
+
+def bench_file_path(path: Optional[str] = None) -> str:
+    return path or os.environ.get("BENCH_JSON", DEFAULT_BENCH_FILE)
+
+
+def record_bench(name: str, value: float, path: Optional[str] = None) -> None:
+    """Merge one ``name: value`` measurement into the bench JSON file.
+
+    Best-effort by design: an unwritable or corrupt file must never fail
+    the gate that produced the number.
+    """
+    target = bench_file_path(path)
+    data = {}
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict):
+            data = loaded
+    except (OSError, ValueError):
+        pass
+    data[name] = value
+    try:
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass

@@ -1,0 +1,57 @@
+"""Bounded intern tables for hot-path strings and parsed IP addresses.
+
+FlowDNS pushes the same few thousand distinct strings (domain names, IP
+texts) and packed addresses through the pipeline millions of times. The
+codecs and adapters intern them here so every downstream dict operation
+(shard hashing, map lookups, chain walks) sees one shared object whose
+hash is computed once. Both tables are bounded: at the cap they are
+dropped wholesale — an O(1) reset that keeps worst-case memory flat
+while the steady-state working set (names live in the DNS maps anyway)
+re-interns within one batch.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Union
+
+IPAddressLike = Union[str, bytes, int, ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+#: Cap on each table; 64K entries comfortably covers an ISP's hot set.
+INTERN_TABLE_MAX = 1 << 16
+
+_strings: Dict[str, str] = {}
+_addresses: Dict[object, object] = {}
+
+
+def intern_string(text: str) -> str:
+    """Return the canonical shared object for ``text``."""
+    cached = _strings.get(text)
+    if cached is not None:
+        return cached
+    if len(_strings) >= INTERN_TABLE_MAX:
+        _strings.clear()
+    _strings[text] = text
+    return text
+
+
+def cached_ip_address(raw: IPAddressLike):
+    """``ipaddress.ip_address`` with a bounded cache keyed on the input.
+
+    Accepts everything :func:`ipaddress.ip_address` accepts (text, packed
+    bytes, int). Raises the same ``ValueError`` on invalid input; failures
+    are never cached.
+    """
+    ip = _addresses.get(raw)
+    if ip is None:
+        ip = ipaddress.ip_address(raw)
+        if len(_addresses) >= INTERN_TABLE_MAX:
+            _addresses.clear()
+        _addresses[raw] = ip
+    return ip
+
+
+def clear_intern_tables() -> None:
+    """Drop both tables (tests and long-lived processes)."""
+    _strings.clear()
+    _addresses.clear()

@@ -56,6 +56,18 @@ class TestConcurrentMapBatch:
         cmap.set_many([("k", 1), ("k", 2), ("k", 3)])
         assert cmap.get("k") == 3
 
+    def test_set_many_counts_overwrite_of_stored_none(self):
+        """Regression: a stored None is a real previous value, not absence."""
+        cmap = ConcurrentMap(shard_count=4)
+        cmap.set_many([("a", None)])
+        assert cmap.set_many([("a", 1)]) == 1  # None -> 1 is an overwrite
+        assert cmap.set_many([("b", 2)]) == 0  # absent -> value is not
+
+    def test_shard_index_many_matches_scalar(self):
+        cmap = ConcurrentMap(shard_count=8)
+        keys = [f"key-{i}" for i in range(64)] + ["key-0", "key-1"]
+        assert cmap.shard_index_many(keys) == [cmap._shard_index(k) for k in keys]
+
     def test_get_many_empty(self):
         assert ConcurrentMap().get_many([]) == {}
 

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.netflow.collector import FlowCollector
+from repro.netflow.collector import FlowCollector, probe_version
 from repro.netflow.exporter import FlowExporter
 from repro.netflow.records import FlowRecord
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, ParseError
 
 
 def _flows(n, v6_every=0):
@@ -103,6 +103,19 @@ class TestCollectorRobustness:
         collector = FlowCollector()
         assert collector.ingest(datagram[:30]) == []
         assert collector.stats.malformed == 1
+
+    def test_probe_version_raises_parse_error_not_struct_error(self):
+        """Regression: sub-2-byte datagrams must raise the codec's own error."""
+        for short in (b"", b"\x05"):
+            with pytest.raises(ParseError):
+                probe_version(short)
+
+    def test_short_datagram_counted_malformed(self):
+        collector = FlowCollector()
+        assert collector.ingest(b"") == []
+        assert collector.ingest(b"\x09") == []
+        assert collector.stats.malformed == 2
+        assert collector.stats.datagrams == 0
 
     def test_pipeline_survives_interleaved_garbage(self):
         flows = _flows(50)
