@@ -146,6 +146,13 @@ def test_dns_decode_throughput_reported():
     CDN-style responses — a CNAME chain whose owner names repeat through
     compression pointers — are where the per-message name-offset cache
     pays; the measured messages/s lands in the bench JSON artifact.
+
+    ``dns_name_cache_speedup`` is deliberately record-only and must never
+    grow an assertion: on the 1-CPU CI container it measured as low as
+    1.1x (the cache's win rides on how compressed the encoder's output
+    is, and the margin is inside shared-runner noise), so any gate on it
+    would flake. The differential ``run(True) == run(False)`` check is
+    the correctness guard; the ratio is trajectory data only.
     """
     msg = DnsMessage(
         header=Header(msg_id=7),

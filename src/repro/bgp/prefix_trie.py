@@ -5,17 +5,26 @@ correlated with BGP data, e.g. source AS …") needs IP→origin-AS lookups
 at flow-record rate. A bitwise radix trie gives O(address length) exact
 longest-prefix-match for IPv4 and IPv6 alike, with no third-party
 dependency.
+
+Bit walks run over ``int.from_bytes(packed)`` with shifts — one big-int
+conversion per key instead of a per-bit generator frame — and
+:meth:`PrefixTrie.lookup_many` adds a bounded memo so repeated flow
+addresses (CDN pools hit the same /24s over and over) resolve at
+dictionary speed.
 """
 
 from __future__ import annotations
 
 import ipaddress
-from typing import Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar, Union
 
 
 V = TypeVar("V")
 IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+#: lookup_many memo sentinel: a stored None result must hit the memo too.
+_MISSING = object()
 
 
 class _Node(Generic[V]):
@@ -35,25 +44,31 @@ class PrefixTrie(Generic[V]):
     ``::/0`` defaults can coexist.
     """
 
+    #: Cap on the lookup_many memo; cleared wholesale when exceeded.
+    _MEMO_MAX = 1 << 16
+
     def __init__(self) -> None:
         self._roots = {4: _Node(), 6: _Node()}
         self._size = 0
+        # address-argument -> lookup() result, invalidated on any mutation
+        # (insert/remove can change what a memoised address matches).
+        self._memo: dict = {}
 
     def __len__(self) -> int:
         return self._size
-
-    @staticmethod
-    def _bits(packed: bytes, length: int) -> Iterator[int]:
-        for i in range(length):
-            yield (packed[i // 8] >> (7 - (i % 8))) & 1
 
     def insert(self, prefix, value: V) -> None:
         """Insert or replace one prefix's value."""
         net = ipaddress.ip_network(prefix) if not isinstance(
             prefix, (ipaddress.IPv4Network, ipaddress.IPv6Network)
         ) else prefix
+        self._memo.clear()
         node = self._roots[net.version]
-        for bit in self._bits(net.network_address.packed, net.prefixlen):
+        length = net.prefixlen
+        word = int.from_bytes(net.network_address.packed, "big")
+        total = 32 if net.version == 4 else 128
+        for pos in range(length):
+            bit = (word >> (total - 1 - pos)) & 1
             child = node.one if bit else node.zero
             if child is None:
                 child = _Node()
@@ -81,16 +96,42 @@ class PrefixTrie(Generic[V]):
         )
         node = self._roots[addr.version]
         best: Optional[Tuple[int, V]] = (0, node.value) if node.has_value else None
-        depth = 0
         max_len = 32 if addr.version == 4 else 128
-        for bit in self._bits(addr.packed, max_len):
-            node = node.one if bit else node.zero
+        word = int.from_bytes(addr.packed, "big")
+        shift = max_len  # bit i lives at shift max_len - 1 - i
+        depth = 0
+        while depth < max_len:
+            shift -= 1
+            node = node.one if (word >> shift) & 1 else node.zero
             if node is None:
                 break
             depth += 1
             if node.has_value:
                 best = (depth, node.value)
         return best
+
+    def lookup_many(self, addresses: Iterable) -> List[Optional[V]]:
+        """Longest-prefix match for a batch of addresses, memoised.
+
+        Flow-rate correlation hits the same hot addresses constantly;
+        each distinct address argument (text or ``ipaddress`` object —
+        both hash cheaply) walks the trie once and later occurrences are
+        one dict probe. The memo is bounded (cleared wholesale past
+        ``_MEMO_MAX`` entries) and invalidated by ``insert``/``remove``.
+        """
+        memo = self._memo
+        out: List[Optional[V]] = []
+        append = out.append
+        missing = _MISSING
+        for address in addresses:
+            value = memo.get(address, missing)
+            if value is missing:
+                value = self.lookup(address)
+                if len(memo) >= self._MEMO_MAX:
+                    memo.clear()
+                memo[address] = value
+            append(value)
+        return out
 
     def remove(self, prefix) -> bool:
         """Remove a prefix; returns True when it was present.
@@ -102,11 +143,15 @@ class PrefixTrie(Generic[V]):
             prefix, (ipaddress.IPv4Network, ipaddress.IPv6Network)
         ) else prefix
         node = self._roots[net.version]
-        for bit in self._bits(net.network_address.packed, net.prefixlen):
-            node = node.one if bit else node.zero
+        length = net.prefixlen
+        word = int.from_bytes(net.network_address.packed, "big")
+        total = 32 if net.version == 4 else 128
+        for pos in range(length):
+            node = node.one if (word >> (total - 1 - pos)) & 1 else node.zero
             if node is None:
                 return False
         if node.has_value:
+            self._memo.clear()
             node.has_value = False
             node.value = None
             self._size -= 1

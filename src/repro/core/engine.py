@@ -23,8 +23,11 @@ Stream items may be:
 
 * DNS streams — :class:`DnsRecord`, or ``(ts, wire_bytes)``, or
   ``(ts, DnsMessage)`` tuples (the filter handles validation);
-* Netflow streams — :class:`FlowRecord`, or raw export datagrams
-  (``bytes``), decoded by a per-stream :class:`FlowCollector`.
+* Netflow streams — :class:`FlowRecord`, a whole :class:`FlowBatch`, or
+  raw export datagrams (``bytes``), decoded by a per-stream
+  :class:`FlowCollector`. Whatever the item type, the lookup lane runs
+  columnar: decode→correlate touches only :class:`FlowBatch` columns and
+  per-record objects are never materialised.
 """
 
 from __future__ import annotations
@@ -35,13 +38,13 @@ from typing import Iterable, List, Optional, Sequence, TextIO
 
 from repro.core.config import FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
-from repro.core.lookup import LookUpProcessor
+from repro.core.lookup import CorrelationBatch, LookUpProcessor
 from repro.core.metrics import EngineReport
 from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import DiscardSink, WriteWorker
 from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
-from repro.netflow.records import FlowRecord
+from repro.netflow.records import FlowBatch, FlowRecord
 from repro.streams.queues import WorkerQueue
 from repro.streams.stream import RecordStream
 
@@ -163,6 +166,14 @@ class ThreadedEngine:
         collector: FlowCollector,
         write_queue: WorkerQueue,
     ) -> None:
+        """Drain the flow buffer through the columnar decode→correlate path.
+
+        Stream items (raw datagrams, :class:`FlowRecord` objects, or whole
+        :class:`FlowBatch` es) are gathered into one batch of columns per
+        wake-up, correlated with :meth:`correlate_batch_columns`, and the
+        resulting :class:`CorrelationBatch` is enqueued as a single write
+        item — no per-flow record/result objects anywhere on the lane.
+        """
         batch_size = self.config.engine_batch_size
         buffer = stream.buffer
         while True:
@@ -171,17 +182,18 @@ class ThreadedEngine:
                 if buffer.closed and len(buffer) == 0:
                     return
                 continue
-            flows: List[FlowRecord] = []
+            batch = FlowBatch()
             for item in items:
-                if isinstance(item, FlowRecord):
-                    flows.append(item)
+                if isinstance(item, FlowBatch):
+                    batch.extend(item)
+                elif isinstance(item, FlowRecord):
+                    batch.append_record(item)
                 elif isinstance(item, (bytes, bytearray)):
-                    flows.extend(collector.ingest(bytes(item)))
-            if not flows:
+                    batch.extend(collector.ingest_columns(bytes(item)))
+            if not len(batch):
                 continue
-            results = processor.correlate_batch(flows)
-            created = time.monotonic()
-            write_queue.push_many([(result, created) for result in results])
+            correlated = processor.correlate_batch_columns(batch)
+            write_queue.push((correlated, time.monotonic()))
 
     def _write_worker(self, write_queue: WorkerQueue) -> None:
         batch_size = self.config.engine_batch_size
@@ -193,9 +205,12 @@ class ThreadedEngine:
                 continue
             now = time.monotonic()
             with self._writer_lock:
-                for result, created_monotonic in items:
+                for payload, created_monotonic in items:
                     queueing_delay = now - created_monotonic
-                    self.writer.write(result, now=result.flow.ts + queueing_delay)
+                    if isinstance(payload, CorrelationBatch):
+                        self.writer.write_batch(payload, delay=queueing_delay)
+                    else:
+                        self.writer.write(payload, now=payload.flow.ts + queueing_delay)
 
     # --- orchestration -----------------------------------------------------------
 
@@ -268,7 +283,7 @@ class ThreadedEngine:
         return self._build_report()
 
     def _build_report(self) -> EngineReport:
-        report = EngineReport(variant_name="threaded")
+        report = EngineReport(variant_name="threaded", flow_lane="columnar")
         lookup_stats = [p.stats for p in self._lookup_processors]
         report.total_bytes = sum(s.bytes_in for s in lookup_stats)
         report.correlated_bytes = sum(s.bytes_matched for s in lookup_stats)

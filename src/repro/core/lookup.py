@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.config import FlowDNSConfig
 from repro.core.storage_adapter import DnsStorage
-from repro.netflow.records import FlowDirection, FlowRecord
+from repro.netflow.records import FlowBatch, FlowDirection, FlowRecord
 from repro.util.interning import intern_string
 
 
@@ -42,6 +42,59 @@ class CorrelationResult:
     def dns_name(self) -> Optional[str]:
         """The direct IP→NAME hit, before any CNAME unrolling."""
         return self.chain[0] if self.chain else None
+
+
+class CorrelationBatch:
+    """Columnar outcome of correlating one :class:`FlowBatch`.
+
+    ``chains`` is parallel to the batch's rows (empty tuple = unmatched).
+    The ``matched``/``invalid``/``bytes_*`` attributes are this batch's
+    stats deltas (already flushed into the processor's counters) so the
+    engines can report without re-deriving them. ``CorrelationResult`` /
+    ``FlowRecord`` objects are materialised only on demand via
+    :meth:`results` — the write path formats rows straight from the
+    columns and never needs them.
+    """
+
+    __slots__ = ("flows", "chains", "matched", "invalid", "bytes_in", "bytes_matched")
+
+    def __init__(
+        self,
+        flows: FlowBatch,
+        chains: List[tuple],
+        matched: int = 0,
+        invalid: int = 0,
+        bytes_in: int = 0,
+        bytes_matched: int = 0,
+    ):
+        self.flows = flows
+        self.chains = chains
+        self.matched = matched
+        self.invalid = invalid
+        self.bytes_in = bytes_in
+        self.bytes_matched = bytes_matched
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def matched_mask(self) -> List[bool]:
+        return [bool(chain) for chain in self.chains]
+
+    def results(self, only_matched: bool = False) -> List[CorrelationResult]:
+        """Materialise per-flow results (sinks/analysis hand-off).
+
+        With ``only_matched=True`` only matched flows pay for object
+        construction — the batch's headline economy.
+        """
+        flows = self.flows
+        ts = flows.ts
+        out: List[CorrelationResult] = []
+        append = out.append
+        for i, chain in enumerate(self.chains):
+            if only_matched and not chain:
+                continue
+            append(CorrelationResult(flows.record(i), chain, ts[i]))
+        return out
 
 
 @dataclass
@@ -229,6 +282,130 @@ class LookUpProcessor:
         for length, count in length_counts.items():
             chain_lengths[length] = chain_lengths.get(length, 0) + count
         return results
+
+    def correlate_batch_columns(self, flows: FlowBatch) -> CorrelationBatch:
+        """Columnar steps 4–7: correlate one :class:`FlowBatch`.
+
+        The columnar twin of :meth:`correlate_batch`: the same unique-IP
+        dedup, one batched ``lookup_ips``, and one chain walk per unique
+        hit — but the lookup keys come straight from the batch's interned
+        text columns, so no ``FlowRecord``/``ipaddress``/``str()`` work
+        happens per flow. Counters land in :attr:`stats` exactly as the
+        object path's would; the per-batch deltas also ride on the
+        returned :class:`CorrelationBatch` so engines can report without
+        re-deriving them. Exact-TTL mode falls back to per-record
+        :meth:`process` over materialised records (sharing resolutions is
+        unsound when expiry depends on each flow's own timestamp), which
+        keeps the parity suite's exact-TTL case byte-identical.
+        """
+        n = len(flows)
+        if n == 0:
+            return CorrelationBatch(flows, [])
+        stats = self.stats
+        if self.config.exact_ttl:
+            chains: List[tuple] = []
+            matched = invalid = bytes_matched = 0
+            before_invalid = stats.invalid
+            for i in range(n):
+                result = self.process(flows.record(i))
+                chains.append(result.chain)
+                if result.chain:
+                    matched += 1
+                    bytes_matched += result.flow.bytes_
+            invalid = stats.invalid - before_invalid
+            return CorrelationBatch(
+                flows, chains, matched, invalid, sum(flows.bytes_), bytes_matched
+            )
+
+        direction = self.config.direction
+        both = direction is FlowDirection.BOTH
+        use_src = both or direction is FlowDirection.SOURCE
+        ts_col = flows.ts
+        bytes_col = flows.bytes_
+        packets_col = flows.packets
+        now = ts_col[0]
+
+        # Pass 1: validity filter + primary lookup key per flow, read
+        # straight off the interned text columns. When no row has a
+        # negative counter — every flow decoded from the wire, since the
+        # formats carry unsigned counters — the key column itself serves
+        # as the (read-only) primaries list and the per-row loop is two
+        # C-speed min() scans.
+        keys = flows.src_ip_text if use_src else flows.dst_ip_text
+        invalid = 0
+        if min(bytes_col) >= 0 and min(packets_col) >= 0:
+            primaries: List[Optional[str]] = keys
+        else:
+            primaries = [None] * n
+            for i in range(n):
+                if bytes_col[i] < 0 or packets_col[i] < 0:  # is_valid(), inlined
+                    invalid += 1
+                    continue
+                primaries[i] = keys[i]
+
+        # Pass 2: one batched deepLookUp for the unique IPs, then one
+        # chain walk per unique hit, in first-appearance order (chain
+        # memoisation makes walk results order-sensitive).
+        if primaries is keys:
+            unique = dict.fromkeys(primaries)
+        else:
+            unique = dict.fromkeys(text for text in primaries if text is not None)
+        names = self.storage.lookup_ips(unique, now)
+        chains_by_ip: dict = {}
+        for text in unique:
+            name = names.get(text)
+            chains_by_ip[text] = tuple(self._walk_chain(name, now)) if name else ()
+
+        fallbacks: List[Optional[str]] = []
+        if both:
+            # Destination fallback for flows whose source IP missed.
+            dst_col = flows.dst_ip_text
+            fallbacks = [None] * n
+            fb_unique: dict = {}
+            for i in range(n):
+                text = primaries[i]
+                if text is None or chains_by_ip[text]:
+                    continue
+                dst = dst_col[i]
+                fallbacks[i] = dst
+                if dst not in chains_by_ip:
+                    fb_unique[dst] = None
+            fb_names = self.storage.lookup_ips(fb_unique, now)
+            for text in fb_unique:
+                name = fb_names.get(text)
+                chains_by_ip[text] = tuple(self._walk_chain(name, now)) if name else ()
+
+        # Pass 3: the per-flow chain column and counters, flushed once.
+        # bytes_in counts every row, valid or not, so it sums at C speed.
+        bytes_in = sum(bytes_col)
+        chains = [()] * n
+        length_counts: dict = {}
+        matched = unmatched = bytes_matched = 0
+        for i in range(n):
+            text = primaries[i]
+            if text is None:
+                continue
+            chain = chains_by_ip[text]
+            if both and not chain and fallbacks[i] is not None:
+                chain = chains_by_ip[fallbacks[i]]
+            if chain:
+                chains[i] = chain
+                matched += 1
+                bytes_matched += bytes_col[i]
+                length = len(chain)
+                length_counts[length] = length_counts.get(length, 0) + 1
+            else:
+                unmatched += 1
+        stats.flows_in += n
+        stats.bytes_in += bytes_in
+        stats.invalid += invalid
+        stats.matched += matched
+        stats.unmatched += unmatched
+        stats.bytes_matched += bytes_matched
+        chain_lengths = stats.chain_lengths
+        for length, count in length_counts.items():
+            chain_lengths[length] = chain_lengths.get(length, 0) + count
+        return CorrelationBatch(flows, chains, matched, invalid, bytes_in, bytes_matched)
 
     def resolve(self, ip_text: str, now: float) -> List[str]:
         """Public Algorithm-2 resolution of one bare IP.

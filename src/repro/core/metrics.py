@@ -226,6 +226,11 @@ class EngineReport:
     overwrites: int = 0
     duration: float = 0.0
     variant_name: str = "main"
+    #: Which representation the engine's flow lane carried: "columnar"
+    #: (FlowBatch columns end-to-end, the live engines' default) or
+    #: "object" (per-record FlowRecord/CorrelationResult, the reference
+    #: path the simulation engine and direct processor calls use).
+    flow_lane: str = "object"
 
     @property
     def correlation_rate(self) -> float:

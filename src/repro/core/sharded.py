@@ -23,6 +23,10 @@ Routing invariants (what makes the partition correct):
 IPC is batched (``engine_batch_size`` records per message): a
 ``multiprocessing.Queue`` pays a pickle plus a pipe write per message,
 which at one record per message would dwarf the correlation work itself.
+Flow batches additionally cross as *flat primitive columns*
+(``FlowBatch.columns()`` — one tuple of lists of floats/ints/strings per
+batch) rather than pickled ``FlowRecord`` graphs, so serialisation cost
+is per-scalar, not per-object.
 Input queues are bounded so a slow shard applies backpressure to the
 router instead of buffering the whole input in memory. There are no
 bounded drop-counting ingress buffers in this engine, so
@@ -43,10 +47,10 @@ from repro.core.labeler import ip_label
 from repro.core.lookup import LookUpProcessor
 from repro.core.metrics import EngineReport
 from repro.core.storage_adapter import DnsStorage
-from repro.core.writer import HEADER, format_result
+from repro.core.writer import HEADER, format_batch, format_result
 from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
-from repro.netflow.records import FlowDirection, FlowRecord
+from repro.netflow.records import FlowBatch, FlowDirection, FlowRecord
 from repro.util.errors import ConfigError
 
 #: Message kinds on the shard input/output queues.
@@ -54,6 +58,10 @@ _DNS = 0
 _FLOWS = 1
 _ROWS = 2
 _REPORT = 3
+#: A flow batch as flat primitive columns (``FlowBatch.columns()``): the
+#: columnar lane's IPC payload — one tuple of lists per batch, no object
+#: graph for pickle to walk.
+_FLOW_COLS = 4
 
 #: Bounded batches buffered per shard input queue (backpressure depth).
 _QUEUE_DEPTH = 16
@@ -103,7 +111,13 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
                         storage.tick(record.ts)
                 else:
                     fillup.process_batch(batch)
+            elif kind == _FLOW_COLS:
+                correlated = lookup.correlate_batch_columns(FlowBatch.from_columns(batch))
+                if want_rows:
+                    out_queue.put((_ROWS, format_batch(correlated)))
             else:
+                # Object-lane reference path; the parent routes columns,
+                # but record batches stay decodable for parity tooling.
                 results = lookup.correlate_batch(batch)
                 if want_rows:
                     out_queue.put((_ROWS, [format_result(r) for r in results]))
@@ -167,6 +181,10 @@ class _BatchRouter:
                 return
             except queue_mod.Full:
                 continue
+
+    def send(self, shard: int, payload) -> None:
+        """Put one already-assembled message (e.g. a column tuple)."""
+        self._put(shard, payload)
 
     def route(self, kind: int, shard: int, record) -> None:
         pending = self._pending[shard]
@@ -237,22 +255,44 @@ class ShardedEngine:
             self._dns_records_seen += seen
 
     def _route_flows(self, source: Iterable, router: _BatchRouter) -> None:
-        """Feed one flow source: decode datagrams and shard by lookup IP."""
+        """Feed one flow source: decode to columns and shard by lookup IP.
+
+        The columnar lane: datagrams decode via ``ingest_columns``, rows
+        partition into per-shard :class:`FlowBatch` accumulators keyed on
+        the direction-selected interned IP *text* (``ip_label`` hashes the
+        same packed bytes either way, so the partition matches the DNS
+        side's), and each full accumulator crosses IPC as one flat column
+        tuple — pickle never walks a record object graph.
+        """
         direction = self.config.direction
         use_src = direction in (FlowDirection.SOURCE, FlowDirection.BOTH)
         num_shards = self.num_shards
+        batch_size = self.config.engine_batch_size
         collector = FlowCollector()
+        pending = [FlowBatch() for _ in range(num_shards)]
+
+        def route_batch(batch: FlowBatch) -> None:
+            keys = batch.src_ip_text if use_src else batch.dst_ip_text
+            for i in range(len(batch)):
+                shard = ip_label(keys[i]) % num_shards
+                accumulator = pending[shard]
+                accumulator.append_from(batch, i)
+                if len(accumulator) >= batch_size:
+                    router.send(shard, (_FLOW_COLS, accumulator.columns()))
+                    pending[shard] = FlowBatch()
+
         for item in source:
-            if isinstance(item, FlowRecord):
-                flows = (item,)
+            if isinstance(item, FlowBatch):
+                route_batch(item)
+            elif isinstance(item, FlowRecord):
+                single = FlowBatch()
+                single.append_record(item)
+                route_batch(single)
             elif isinstance(item, (bytes, bytearray)):
-                flows = collector.ingest(bytes(item))
-            else:
-                continue
-            for flow in flows:
-                ip = flow.src_ip if use_src else flow.dst_ip
-                router.route(_FLOWS, ip_label(ip) % num_shards, flow)
-        router.flush(_FLOWS)
+                route_batch(collector.ingest_columns(bytes(item)))
+        for shard, accumulator in enumerate(pending):
+            if len(accumulator):
+                router.send(shard, (_FLOW_COLS, accumulator.columns()))
 
     def _drain_output(self, out_queue, reports: List[Dict], workers) -> None:
         """Write result rows as they arrive; stop after every shard reports.
@@ -384,7 +424,7 @@ class ShardedEngine:
         return self._merge_reports(reports)
 
     def _merge_reports(self, reports: List[Dict]) -> EngineReport:
-        report = EngineReport(variant_name="sharded")
+        report = EngineReport(variant_name="sharded", flow_lane="columnar")
         report.total_bytes = sum(r["bytes_in"] for r in reports)
         report.correlated_bytes = sum(r["bytes_matched"] for r in reports)
         report.flow_records = sum(r["flows_in"] for r in reports)

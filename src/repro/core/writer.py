@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Iterable, Optional, TextIO
+from typing import Iterable, List, Optional, TextIO
 
-from repro.core.lookup import CorrelationResult
+from repro.core.lookup import CorrelationBatch, CorrelationResult
 
 #: Placeholder the output format uses for NULL results.
 NULL_SERVICE = "-"
@@ -30,6 +30,33 @@ def format_result(result: CorrelationResult) -> str:
         f"{flow.ts:.3f}\t{flow.src_ip}\t{flow.dst_ip}\t{flow.protocol}\t"
         f"{flow.packets}\t{flow.bytes_}\t{service}\t{chain}\n"
     )
+
+
+def format_batch(batch: CorrelationBatch) -> List[str]:
+    """Output rows for one correlation batch, straight from the columns.
+
+    Byte-identical to mapping :func:`format_result` over the batch's
+    materialised results (the address columns carry the same canonical
+    text ``str(flow.src_ip)`` would produce), without building a single
+    ``CorrelationResult``/``FlowRecord``/``ipaddress`` object — this is
+    the engines' columnar write path.
+    """
+    flows = batch.flows
+    ts, src, dst = flows.ts, flows.src_ip_text, flows.dst_ip_text
+    proto, packets, bytes_ = flows.protocol, flows.packets, flows.bytes_
+    rows: List[str] = []
+    append = rows.append
+    for i, chain in enumerate(batch.chains):
+        if chain:
+            service = chain[-1]
+            chain_text = ">".join(chain)
+        else:
+            service = chain_text = NULL_SERVICE
+        append(
+            f"{ts[i]:.3f}\t{src[i]}\t{dst[i]}\t{proto[i]}\t"
+            f"{packets[i]}\t{bytes_[i]}\t{service}\t{chain_text}\n"
+        )
+    return rows
 
 
 def parse_result_line(line: str) -> Optional[dict]:
@@ -103,3 +130,20 @@ class WriteWorker:
     def write_many(self, results: Iterable[CorrelationResult], now: Optional[float] = None) -> None:
         for result in results:
             self.write(result, now)
+
+    def write_batch(self, batch: CorrelationBatch, delay: Optional[float] = None) -> None:
+        """Write one correlation batch's rows without materialising results.
+
+        ``delay`` is the batch's queueing delay (the engines time-stamp a
+        batch once when it is enqueued, so every row in it shares the same
+        delay); matches the per-result path's ``now = flow.ts + delay``
+        bookkeeping.
+        """
+        rows = format_batch(batch)
+        self.sink.write("".join(rows))
+        self.stats.rows += len(rows)
+        self.stats.matched_rows += batch.matched
+        if delay is not None:
+            delay = max(0.0, delay)
+            self.stats.max_delay = max(self.stats.max_delay, delay)
+            self.stats.total_delay += delay * len(rows)

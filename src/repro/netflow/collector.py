@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.netflow.ipfix import IpfixSession
-from repro.netflow.records import FlowRecord
-from repro.netflow.v5 import decode_v5
+from repro.netflow.records import FlowBatch, FlowRecord
+from repro.netflow.v5 import decode_v5, decode_v5_columns
 from repro.netflow.v9 import V9Session
 from repro.util.errors import ParseError
 
@@ -81,3 +81,27 @@ class FlowCollector:
             return []
         self.stats.note(version, len(flows))
         return flows
+
+    def ingest_columns(self, datagram: bytes) -> FlowBatch:
+        """Columnar :meth:`ingest`: decode one datagram into a FlowBatch.
+
+        Same version sniffing, session state, and counters as the object
+        path, but the flows come out as columns — the engines' columnar
+        flow lanes feed on this.
+        """
+        try:
+            version = probe_version(datagram)
+            if version == 5:
+                _, batch = decode_v5_columns(datagram)
+            elif version == 9:
+                batch = self._v9.decode_batch_columns(datagram)
+            elif version == 10:
+                batch = self._ipfix.decode_batch_columns(datagram)
+            else:
+                self.stats.unknown_version += 1
+                return FlowBatch()
+        except ParseError:
+            self.stats.malformed += 1
+            return FlowBatch()
+        self.stats.note(version, len(batch))
+        return batch

@@ -17,6 +17,14 @@ This module compiles a template **once, at registration time**, into
   slot layout — constant tuple indices, no per-record dict of field names,
   decoded addresses shared through a bounded cache.
 
+Each compiled decoder also carries a **columnar twin** as its
+``decode_columns`` attribute: the same specialised loop, but appending
+straight into the parallel lists of a :class:`FlowBatch` — no
+``FlowRecord``, no ``ipaddress`` objects at all (addresses go packed
+bytes → interned canonical text through a bounded cache). This is the
+decode half of the columnar decode→correlate hot path; the object
+decoder stays the parity reference.
+
 The generated code reproduces the reference decoder exactly (the
 differential tests in ``tests/test_codec_parity.py`` hold them
 byte-for-byte equal), with two deliberate deviations on *statically
@@ -36,8 +44,8 @@ from __future__ import annotations
 import struct
 from typing import Callable, FrozenSet, List, Mapping
 
-from repro.netflow.records import FlowRecord
-from repro.util.interning import cached_ip_address
+from repro.netflow.records import FlowBatch, FlowRecord
+from repro.util.interning import cached_ip_address, cached_ip_text, ip_text_probe
 
 #: struct codes for the integer widths the format can express directly.
 _INT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
@@ -114,6 +122,10 @@ def compile_decoder(
         def decode_nothing(payload, *_ts_args) -> List[FlowRecord]:
             return []
 
+        def decode_nothing_columns(payload, *_ts_args) -> FlowBatch:
+            return FlowBatch()
+
+        decode_nothing.decode_columns = decode_nothing_columns  # type: ignore[attr-defined]
         return decode_nothing
 
     # ---- generate the per-record body ------------------------------------
@@ -176,15 +188,65 @@ def compile_decoder(
         f"        append(rec)\n"
         f"    return out\n"
     )
+    # ---- generate the columnar twin --------------------------------------
+    # Same slot exprs and port guards, but appending into parallel lists:
+    # no FlowRecord, no per-record dict unless the template has extra
+    # fields, addresses as interned text straight from the packed bytes.
+    if named:
+        extras_init = "    _ex = []\n    _a_ex = _ex.append\n"
+        extras_append = f"        _a_ex({{{extra_items}}})\n"
+        extras_ret = "_ex"
+    else:
+        extras_init = ""
+        extras_append = ""
+        extras_ret = "None"
+    col_source = (
+        f"def _decode_cols({signature}):\n"
+        f"{preamble}"
+        f"    _ts = []\n    _src = []\n    _dst = []\n    _sp = []\n"
+        f"    _dp = []\n    _pr = []\n    _pk = []\n    _by = []\n"
+        f"{extras_init}"
+        f"    _a_ts = _ts.append\n    _a_src = _src.append\n"
+        f"    _a_dst = _dst.append\n    _a_sp = _sp.append\n"
+        f"    _a_dp = _dp.append\n    _a_pr = _pr.append\n"
+        f"    _a_pk = _pk.append\n    _a_by = _by.append\n"
+        f"    for r in _iter_unpack(payload):\n"
+        f"{guard_block}"
+        f"        _a_ts({ts_expr})\n"
+        # The bytes->text cache probe is inlined (one dict .get instead
+        # of a Python call per address); misses fall back to the bounded
+        # cached_ip_text, which validates, interns, and fills the table.
+        f"        _k = r[{src_idx}]\n"
+        f"        _v = _tg(_k)\n"
+        f"        _a_src(_v if _v is not None else _ip_text(_k))\n"
+        f"        _k = r[{dst_idx}]\n"
+        f"        _v = _tg(_k)\n"
+        f"        _a_dst(_v if _v is not None else _ip_text(_k))\n"
+        f"        _a_sp({core_exprs['src_port']})\n"
+        f"        _a_dp({core_exprs['dst_port']})\n"
+        f"        _a_pr({core_exprs['protocol']})\n"
+        f"        _a_pk({core_exprs['packets']})\n"
+        f"        _a_by({core_exprs['bytes_']})\n"
+        f"{extras_append}"
+        f"    return (_ts, _src, _dst, _sp, _dp, _pr, _pk, _by, {extras_ret})\n"
+    )
+
     namespace = {
         "_iter_unpack": record_struct.iter_unpack,
         "_FlowRecord": FlowRecord,
         "_new": object.__new__,
         "_ip": cached_ip_address,
+        "_ip_text": cached_ip_text,
+        "_tg": ip_text_probe,
         "_fb": int.from_bytes,
     }
     exec(compile(source, f"<compiled-template-{template.template_id}>", "exec"), namespace)
+    exec(
+        compile(col_source, f"<compiled-template-{template.template_id}-columns>", "exec"),
+        namespace,
+    )
     inner = namespace["_decode"]
+    inner_cols = namespace["_decode_cols"]
 
     def decode(payload, *ts_args) -> List[FlowRecord]:
         count = len(payload) // rec_len
@@ -197,6 +259,17 @@ def compile_decoder(
             payload = memoryview(payload)[:end]
         return inner(payload, *ts_args)
 
+    def decode_columns(payload, *ts_args) -> FlowBatch:
+        count = len(payload) // rec_len
+        if count == 0:
+            return FlowBatch()
+        end = count * rec_len
+        if end != len(payload):
+            payload = memoryview(payload)[:end]
+        return FlowBatch(*inner_cols(payload, *ts_args))
+
     decode.record_struct = record_struct  # type: ignore[attr-defined]
     decode.source = source  # type: ignore[attr-defined]
+    decode.decode_columns = decode_columns  # type: ignore[attr-defined]
+    decode_columns.source = col_source  # type: ignore[attr-defined]
     return decode

@@ -16,7 +16,7 @@ from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.netflow.compiled import compile_decoder
-from repro.netflow.records import FlowRecord
+from repro.netflow.records import FlowBatch, FlowRecord
 from repro.netflow.v9 import (
     FIELD_NAMES,
     IPV4_DST_ADDR,
@@ -156,7 +156,15 @@ class IpfixSession:
     def template_for(self, domain_id: int, template_id: int) -> Optional[TemplateRecord]:
         return self._templates.get((domain_id, template_id))
 
-    def decode(self, message: bytes) -> List[FlowRecord]:
+    def _walk_sets(self, message: bytes, on_data) -> None:
+        """The one set walk both decode lanes share.
+
+        Validates the header, learns template sets, and hands each data
+        set with a known template to
+        ``on_data(key, tmpl, payload, export_secs)``. Per-set (not
+        per-record) indirection, so a shared walk costs nothing while
+        keeping the object and columnar lanes structurally identical.
+        """
         if len(message) < IPFIX_HEADER.size:
             raise ParseError("IPFIX message shorter than header")
         version, length, export_secs, _seq, domain_id = IPFIX_HEADER.unpack_from(message, 0)
@@ -164,7 +172,6 @@ class IpfixSession:
             raise ParseError(f"not an IPFIX message (version={version})")
         if length > len(message):
             raise ParseError("IPFIX message truncated")
-        flows: List[FlowRecord] = []
         offset = IPFIX_HEADER.size
         while offset + 4 <= length:
             set_id, set_len = struct.unpack_from("!HH", message, offset)
@@ -177,16 +184,50 @@ class IpfixSession:
                 key = (domain_id, set_id)
                 tmpl = self._templates.get(key)
                 if tmpl is not None:
-                    if self.use_compiled:
-                        decoder = self._decoders.get(key)
-                        if decoder is None:
-                            decoder = compiled_ipfix_decoder(tmpl)
-                            self._decoders[key] = decoder
-                        flows.extend(decoder(payload, export_secs))
-                    else:
-                        flows.extend(self._decode_data_reference(tmpl, payload, export_secs))
+                    on_data(key, tmpl, payload, export_secs)
             offset += set_len
+
+    def _compiled_decoder(self, key, tmpl):
+        """Get-or-compile the cached compiled decoder for one template."""
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            decoder = compiled_ipfix_decoder(tmpl)
+            self._decoders[key] = decoder
+        return decoder
+
+    def decode(self, message: bytes) -> List[FlowRecord]:
+        flows: List[FlowRecord] = []
+
+        def on_data(key, tmpl, payload, export_secs):
+            if self.use_compiled:
+                decoder = self._compiled_decoder(key, tmpl)
+                flows.extend(decoder(payload, export_secs))
+            else:
+                flows.extend(self._decode_data_reference(tmpl, payload, export_secs))
+
+        self._walk_sets(message, on_data)
         return flows
+
+    def decode_batch_columns(self, message: bytes) -> FlowBatch:
+        """Decode one message straight into a columnar :class:`FlowBatch`.
+
+        The IPFIX analogue of :meth:`V9Session.decode_batch_columns`:
+        data sets run the compiled decoder's columnar twin, template sets
+        are learned as usual.
+        """
+        batches: List[FlowBatch] = [FlowBatch()]
+
+        def on_data(key, tmpl, payload, export_secs):
+            decoder = self._compiled_decoder(key, tmpl)
+            decoded = decoder.decode_columns(payload, export_secs)
+            batch = batches[0]
+            if len(batch):
+                batch.extend(decoded)
+            elif len(decoded):
+                batches[0] = decoded
+
+        self._walk_sets(message, on_data)
+        return batches[0]
 
     def _learn_templates(self, domain_id: int, payload: bytes) -> None:
         offset = 0
@@ -207,6 +248,11 @@ class IpfixSession:
             self._templates[key] = tmpl
             if self.use_compiled:
                 self._decoders[key] = compiled_ipfix_decoder(tmpl)
+            else:
+                # decode_batch_columns lazily caches compiled decoders even
+                # on reference sessions; a re-announced template must not
+                # leave that cache decoding the old layout.
+                self._decoders.pop(key, None)
 
     def _decode_data_reference(
         self, tmpl: TemplateRecord, payload: bytes, export_secs: int

@@ -3,6 +3,12 @@
 All three supported export formats (Netflow v5, Netflow v9, IPFIX) decode
 into :class:`FlowRecord`. Only the fields FlowDNS uses are first-class;
 everything else a template might carry is preserved in ``extra``.
+
+:class:`FlowBatch` is the columnar twin: the same fields as parallel
+lists, carried through the decode→correlate hot path without
+materialising a ``FlowRecord`` (or its two ``ipaddress`` objects) per
+flow. A parity-identical record can still be built on demand via
+:meth:`FlowBatch.record`.
 """
 
 from __future__ import annotations
@@ -10,9 +16,9 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.util.interning import cached_ip_address
+from repro.util.interning import cached_ip_address, cached_ip_text
 
 IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
@@ -77,3 +83,212 @@ class FlowRecord:
         """
         dns_ports = (53, 853)
         return self.dst_port in dns_ports or self.src_port in dns_ports
+
+
+class FlowBatch:
+    """A batch of flows as parallel columns (structure-of-arrays).
+
+    Addresses are carried as canonical interned *text* (what the
+    correlator keys its map lookups on anyway), so the decode→correlate
+    path never touches ``ipaddress``. ``extras`` is ``None`` when every
+    flow's ``extra`` dict is empty — the common case for the standard
+    v9/IPFIX templates — otherwise a parallel list of per-flow dicts
+    (``None`` entries meaning empty).
+
+    The flat columns are what the sharded engine pickles across IPC: one
+    tuple of primitive lists per batch instead of an object graph.
+    """
+
+    __slots__ = (
+        "ts",
+        "src_ip_text",
+        "dst_ip_text",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "packets",
+        "bytes_",
+        "extras",
+    )
+
+    def __init__(
+        self,
+        ts: Optional[List[float]] = None,
+        src_ip_text: Optional[List[str]] = None,
+        dst_ip_text: Optional[List[str]] = None,
+        src_port: Optional[List[int]] = None,
+        dst_port: Optional[List[int]] = None,
+        protocol: Optional[List[int]] = None,
+        packets: Optional[List[int]] = None,
+        bytes_: Optional[List[int]] = None,
+        extras: Optional[List[Optional[Dict[str, int]]]] = None,
+    ):
+        self.ts = ts if ts is not None else []
+        self.src_ip_text = src_ip_text if src_ip_text is not None else []
+        self.dst_ip_text = dst_ip_text if dst_ip_text is not None else []
+        self.src_port = src_port if src_port is not None else []
+        self.dst_port = dst_port if dst_port is not None else []
+        self.protocol = protocol if protocol is not None else []
+        self.packets = packets if packets is not None else []
+        self.bytes_ = bytes_ if bytes_ is not None else []
+        self.extras = extras
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __repr__(self) -> str:
+        return f"FlowBatch(len={len(self.ts)})"
+
+    # --- building ---------------------------------------------------------
+
+    def append_row(
+        self,
+        ts: float,
+        src_ip_text: str,
+        dst_ip_text: str,
+        src_port: int = 0,
+        dst_port: int = 0,
+        protocol: int = 6,
+        packets: int = 1,
+        bytes_: int = 0,
+        extra: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Append one flow from already-validated scalar fields."""
+        if extra:
+            if self.extras is None:
+                self.extras = [None] * len(self.ts)
+            self.extras.append(extra)
+        elif self.extras is not None:
+            self.extras.append(None)
+        self.ts.append(ts)
+        self.src_ip_text.append(src_ip_text)
+        self.dst_ip_text.append(dst_ip_text)
+        self.src_port.append(src_port)
+        self.dst_port.append(dst_port)
+        self.protocol.append(protocol)
+        self.packets.append(packets)
+        self.bytes_.append(bytes_)
+
+    def append_record(self, flow: FlowRecord) -> None:
+        """Append one :class:`FlowRecord` (compat lane for object sources)."""
+        self.append_row(
+            flow.ts,
+            cached_ip_text(flow.src_ip),
+            cached_ip_text(flow.dst_ip),
+            flow.src_port,
+            flow.dst_port,
+            flow.protocol,
+            flow.packets,
+            flow.bytes_,
+            flow.extra,
+        )
+
+    def append_from(self, other: "FlowBatch", i: int) -> None:
+        """Append row ``i`` of ``other`` (the sharded router's partitioner)."""
+        extra = other.extras[i] if other.extras is not None else None
+        self.append_row(
+            other.ts[i],
+            other.src_ip_text[i],
+            other.dst_ip_text[i],
+            other.src_port[i],
+            other.dst_port[i],
+            other.protocol[i],
+            other.packets[i],
+            other.bytes_[i],
+            extra,
+        )
+
+    def extend(self, other: "FlowBatch") -> None:
+        """Concatenate another batch's columns onto this one."""
+        if not len(other):
+            return
+        if other.extras is not None and self.extras is None:
+            self.extras = [None] * len(self.ts)
+        if self.extras is not None:
+            if other.extras is not None:
+                self.extras.extend(other.extras)
+            else:
+                self.extras.extend([None] * len(other.ts))
+        self.ts.extend(other.ts)
+        self.src_ip_text.extend(other.src_ip_text)
+        self.dst_ip_text.extend(other.dst_ip_text)
+        self.src_port.extend(other.src_port)
+        self.dst_port.extend(other.dst_port)
+        self.protocol.extend(other.protocol)
+        self.packets.extend(other.packets)
+        self.bytes_.extend(other.bytes_)
+
+    @classmethod
+    def from_records(cls, flows: Iterable[FlowRecord]) -> "FlowBatch":
+        batch = cls()
+        for flow in flows:
+            batch.append_record(flow)
+        return batch
+
+    # --- slicing / IPC ----------------------------------------------------
+
+    def select(self, indices: Sequence[int]) -> "FlowBatch":
+        """A new batch holding the given rows, in the given order."""
+        extras = self.extras
+        return FlowBatch(
+            [self.ts[i] for i in indices],
+            [self.src_ip_text[i] for i in indices],
+            [self.dst_ip_text[i] for i in indices],
+            [self.src_port[i] for i in indices],
+            [self.dst_port[i] for i in indices],
+            [self.protocol[i] for i in indices],
+            [self.packets[i] for i in indices],
+            [self.bytes_[i] for i in indices],
+            None if extras is None else [extras[i] for i in indices],
+        )
+
+    def columns(self) -> Tuple:
+        """The flat column tuple — what the sharded engine pickles."""
+        return (
+            self.ts,
+            self.src_ip_text,
+            self.dst_ip_text,
+            self.src_port,
+            self.dst_port,
+            self.protocol,
+            self.packets,
+            self.bytes_,
+            self.extras,
+        )
+
+    @classmethod
+    def from_columns(cls, columns: Tuple) -> "FlowBatch":
+        """Rebuild a batch from :meth:`columns` output (trusted input)."""
+        return cls(*columns)
+
+    # --- materialisation --------------------------------------------------
+
+    def record(self, i: int) -> FlowRecord:
+        """Build the parity-identical :class:`FlowRecord` for row ``i``.
+
+        Fields were validated at decode/adapt time, so the record is
+        assembled through ``object.__new__`` like the compiled decoders
+        do; ``extra`` is copied so repeated materialisations never alias.
+        """
+        rec = object.__new__(FlowRecord)
+        extra = self.extras[i] if self.extras is not None else None
+        rec.__dict__.update(
+            ts=self.ts[i],
+            src_ip=cached_ip_address(self.src_ip_text[i]),
+            dst_ip=cached_ip_address(self.dst_ip_text[i]),
+            src_port=self.src_port[i],
+            dst_port=self.dst_port[i],
+            protocol=self.protocol[i],
+            packets=self.packets[i],
+            bytes_=self.bytes_[i],
+            extra=dict(extra) if extra else {},
+        )
+        return rec
+
+    def to_records(self) -> List[FlowRecord]:
+        """Materialise every row (tests and compat callers only)."""
+        return [self.record(i) for i in range(len(self.ts))]
+
+    def iter_records(self) -> Iterator[FlowRecord]:
+        for i in range(len(self.ts)):
+            yield self.record(i)

@@ -10,7 +10,7 @@ engine (threaded or simulated) reports loss through it.
 
 from repro.streams.buffer import BoundedBuffer, BufferStats
 from repro.streams.queues import ShardedQueues, WorkerQueue
-from repro.streams.stream import RecordStream, StreamSet, interleave_streams
+from repro.streams.stream import RecordStream, StreamSet, flow_batches, interleave_streams
 
 __all__ = [
     "BoundedBuffer",
@@ -19,5 +19,6 @@ __all__ = [
     "ShardedQueues",
     "RecordStream",
     "StreamSet",
+    "flow_batches",
     "interleave_streams",
 ]

@@ -124,6 +124,41 @@ def interleave_streams(
     )
 
 
+def flow_batches(source: Iterable, batch_size: int = 2048) -> Iterator:
+    """Re-chunk a flow source into :class:`FlowBatch` items.
+
+    Accepts the same item mix the engines' flow lanes do —
+    :class:`FlowRecord` objects or whole :class:`FlowBatch` es — and
+    yields batches of up to ``batch_size`` rows. Useful for feeding a
+    stream columnar items up front, so the receiver pumps one buffer
+    slot per ~``batch_size`` flows instead of one per record (raw
+    datagrams stay per-item: decode belongs to the engine's collector).
+    """
+    from repro.netflow.records import FlowBatch, FlowRecord
+
+    if batch_size < 1:
+        raise ConfigError("flow_batches needs batch_size >= 1")
+    pending = FlowBatch()
+    for item in source:
+        if isinstance(item, FlowRecord):
+            pending.append_record(item)
+        elif isinstance(item, FlowBatch):
+            pending.extend(item)
+        else:
+            raise ConfigError(f"flow_batches cannot rebatch {type(item).__name__}")
+        if len(pending) >= batch_size:
+            # Emit full chunks by offset, then copy the remainder once —
+            # not once per yield, which would go quadratic on large items.
+            total = len(pending)
+            start = 0
+            while total - start >= batch_size:
+                yield pending.select(range(start, start + batch_size))
+                start += batch_size
+            pending = pending.select(range(start, total))
+    if len(pending):
+        yield pending
+
+
 def take(source: Iterable, n: int) -> List:
     """Materialise the first ``n`` items of an (often infinite) stream."""
     if n < 0:

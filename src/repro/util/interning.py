@@ -22,6 +22,7 @@ INTERN_TABLE_MAX = 1 << 16
 
 _strings: Dict[str, str] = {}
 _addresses: Dict[object, object] = {}
+_ip_texts: Dict[object, str] = {}
 
 
 def intern_string(text: str) -> str:
@@ -51,7 +52,39 @@ def cached_ip_address(raw: IPAddressLike):
     return ip
 
 
+#: The raw text table's probe, for decoders that inline the cache hit
+#: path into generated code (one dict .get per address instead of a
+#: Python call). Tables are only ever cleared in place, so this bound
+#: method stays valid across clear_intern_tables()/overflow clears.
+#: Misses must fall back to cached_ip_text, which validates and fills.
+ip_text_probe = _ip_texts.get
+
+
+def cached_ip_text(raw: IPAddressLike) -> str:
+    """Canonical interned text for an address, without the address object.
+
+    The columnar flow path keys its DNS-map lookups on IP *text*; going
+    straight from the wire representation (packed bytes for v9/IPFIX,
+    host int for v5) to the interned text skips the ``ipaddress`` object
+    the per-record path materialises. The text is the same canonical
+    spelling ``str(ip_address(raw))`` produces, so it hash-matches the
+    keys FillUp interned. Raises ``ValueError`` on invalid input;
+    failures are never cached.
+    """
+    text = _ip_texts.get(raw)
+    if text is None:
+        if isinstance(raw, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+            text = intern_string(str(raw))
+        else:
+            text = intern_string(str(ipaddress.ip_address(raw)))
+        if len(_ip_texts) >= INTERN_TABLE_MAX:
+            _ip_texts.clear()
+        _ip_texts[raw] = text
+    return text
+
+
 def clear_intern_tables() -> None:
-    """Drop both tables (tests and long-lived processes)."""
+    """Drop all tables (tests and long-lived processes)."""
     _strings.clear()
     _addresses.clear()
+    _ip_texts.clear()

@@ -82,6 +82,29 @@ class TestPrefixTrie:
         listed = dict(trie.items())
         assert listed == prefixes
 
+    def test_lookup_many_matches_lookup(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "ten")
+        trie.insert("10.1.0.0/16", "long")
+        trie.insert("2001:db8::/32", "doc")
+        addresses = ["10.1.2.3", "10.2.2.3", "8.8.8.8", "2001:db8::1",
+                     "10.1.2.3", "8.8.8.8"]  # repeats exercise the memo
+        assert trie.lookup_many(addresses) == [trie.lookup(a) for a in addresses]
+
+    def test_lookup_many_memo_invalidated_by_mutation(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "ten")
+        assert trie.lookup_many(["10.1.2.3"]) == ["ten"]
+        trie.insert("10.1.0.0/16", "long")  # must not serve the stale memo
+        assert trie.lookup_many(["10.1.2.3"]) == ["long"]
+        trie.remove("10.1.0.0/16")
+        assert trie.lookup_many(["10.1.2.3"]) == ["ten"]
+
+    def test_lookup_many_memoises_misses(self):
+        trie = PrefixTrie()
+        trie.insert("10.0.0.0/8", "ten")
+        assert trie.lookup_many(["192.0.2.1", "192.0.2.1"]) == [None, None]
+
 
 class TestRib:
     def test_origin_lookup(self):

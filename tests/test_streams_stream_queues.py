@@ -5,7 +5,13 @@ import threading
 import pytest
 
 from repro.streams.queues import ShardedQueues, WorkerQueue
-from repro.streams.stream import RecordStream, StreamSet, interleave_streams, take
+from repro.streams.stream import (
+    RecordStream,
+    StreamSet,
+    flow_batches,
+    interleave_streams,
+    take,
+)
 from repro.util.errors import ConfigError, StreamClosed
 
 
@@ -167,3 +173,40 @@ class TestShardedQueues:
         queues.close()
         with pytest.raises(StreamClosed):
             queues.push("x")
+
+
+class TestFlowBatches:
+    def _flows(self, n, base=0):
+        from repro.netflow.records import FlowRecord
+
+        return [
+            FlowRecord(ts=float(base + i), src_ip=f"10.0.0.{i % 250 + 1}",
+                       dst_ip="100.64.0.1", bytes_=100 + i)
+            for i in range(n)
+        ]
+
+    def test_rebatches_records_to_size(self):
+        batches = list(flow_batches(self._flows(10), batch_size=4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [r for b in batches for r in b.to_records()] == self._flows(10)
+
+    def test_accepts_mixed_records_and_batches(self):
+        from repro.netflow.records import FlowBatch
+
+        pre = FlowBatch.from_records(self._flows(5, base=100))
+        items = self._flows(3) + [pre] + self._flows(2, base=200)
+        batches = list(flow_batches(items, batch_size=6))
+        assert [len(b) for b in batches] == [6, 4]
+        flattened = [r for b in batches for r in b.to_records()]
+        assert flattened == self._flows(3) + self._flows(5, base=100) + self._flows(2, base=200)
+
+    def test_rejects_unbatchable_items(self):
+        with pytest.raises(ConfigError):
+            list(flow_batches([b"\x00\x05datagram"]))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigError):
+            list(flow_batches([], batch_size=0))
+
+    def test_empty_source_yields_nothing(self):
+        assert list(flow_batches([])) == []
