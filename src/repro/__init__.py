@@ -23,6 +23,7 @@ paper-vs-measured comparison of every experiment.
 """
 
 from repro.core import (
+    AsyncEngine,
     CorrelationResult,
     CostModel,
     CostModelParams,
@@ -51,6 +52,7 @@ __all__ = [
     "FlowDNSConfig",
     "SimulationEngine",
     "ThreadedEngine",
+    "AsyncEngine",
     "DnsStorage",
     "FillUpProcessor",
     "LookUpProcessor",

@@ -9,6 +9,9 @@ Subcommands:
   files (CSV or JSON-lines) via a field-mapping config, writing the
   standard TSV output — the paper's "other data formats … in a
   configuration file" feature;
+* ``flowdns serve`` — the live service: bind real sockets (NetFlow/IPFIX
+  over UDP, length-framed DNS over TCP) and correlate as traffic
+  arrives, via the asyncio engine;
 * ``flowdns analyze`` — post-process a FlowDNS output file: per-service
   volume, RFC 1035 violations, correlation rate.
 
@@ -191,12 +194,13 @@ def cmd_correlate(args) -> int:
         if args.engine == "simulation":
             engine = SimulationEngine(config, sink=sink)
             report = engine.run(dns_records, flow_records)
-        elif args.engine == "sharded":
+        elif args.engine in ("sharded", "async"):
             engine = engine_for(
                 args.engine, config=config, sink=sink, num_shards=args.shards
             )
             # dns_first gives the hard DNS-before-flows ordering offline
-            # correlation expects (per-shard FIFO queues).
+            # correlation expects (per-shard FIFO queues / the async fill
+            # barrier).
             report = engine.run([dns_records], [flow_records], dns_first=True)
         else:
             engine = engine_for(args.engine, config=config, sink=sink)
@@ -215,6 +219,90 @@ def cmd_correlate(args) -> int:
         f"flow malformed={flow_adapter.stats.malformed}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve",
+        help="run the live asyncio engine over real sockets "
+             "(NetFlow/IPFIX via UDP, DNS via TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--flow-port", type=int, default=2055,
+                   help="UDP port for NetFlow/IPFIX exports (0 = ephemeral)")
+    p.add_argument("--dns-port", type=int, default=8053,
+                   help="TCP port for length-framed DNS messages (0 = ephemeral)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve before draining (0 = until Ctrl-C)")
+    p.add_argument("--num-split", type=int, default=10)
+    p.add_argument("--output", default=None,
+                   help="write correlation TSV to this file (default: discard)")
+    p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.async_engine import AsyncEngine, TcpDnsIngest, UdpFlowIngest
+
+    config = FlowDNSConfig(num_split=args.num_split)
+    sink = open(args.output, "w", encoding="utf-8") if args.output else None
+    dns_ingest = TcpDnsIngest(host=args.host, port=args.dns_port)
+    flow_ingest = UdpFlowIngest(host=args.host, port=args.flow_port)
+    engine = AsyncEngine(config, sink=sink)
+
+    class BindFailure(Exception):
+        pass
+
+    async def serve() -> "object":
+        loop = asyncio.get_running_loop()
+        run = loop.create_task(engine.run_async([dns_ingest], [flow_ingest]))
+        # Let the listeners bind before announcing the addresses; if the
+        # engine task dies first (port already in use), surface that as
+        # a startup failure instead of polling forever. Only this phase
+        # maps to "failed to bind" — a runtime error after the sockets
+        # are up propagates as itself.
+        while dns_ingest.address is None or flow_ingest.address is None:
+            if run.done():
+                try:
+                    return await run
+                except OSError as exc:
+                    raise BindFailure(exc) from exc
+            await asyncio.sleep(0.01)
+        print(f"NetFlow/IPFIX (UDP): {flow_ingest.address[0]}:{flow_ingest.address[1]}",
+              file=sys.stderr)
+        print(f"DNS over TCP       : {dns_ingest.address[0]}:{dns_ingest.address[1]}",
+              file=sys.stderr)
+        try:
+            loop.add_signal_handler(signal.SIGINT, engine.request_stop)
+            loop.add_signal_handler(signal.SIGTERM, engine.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-Unix loop
+            pass
+        if args.duration > 0:
+            loop.call_later(args.duration, engine.request_stop)
+            print(f"serving for {args.duration:.0f}s ...", file=sys.stderr)
+        else:
+            print("serving until Ctrl-C ...", file=sys.stderr)
+        return await run
+
+    try:
+        report = asyncio.run(serve())
+    except BindFailure as exc:
+        print(f"failed to bind listeners: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if sink is not None:
+            sink.close()
+    print(f"dns records ingested : {report.dns_records:,}", file=sys.stderr)
+    print(f"flows correlated     : {report.matched_flows:,}/{report.flow_records:,} "
+          f"({report.correlation_rate:.1%} of bytes)", file=sys.stderr)
+    for name, stats in report.ingest.items():
+        print(f"  {name}: received={stats.received:,} dropped={stats.dropped:,} "
+              f"malformed={stats.malformed:,}", file=sys.stderr)
+    if args.output:
+        print(f"output written       : {args.output}", file=sys.stderr)
     return 0
 
 
@@ -356,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate(subparsers)
     _add_ablation(subparsers)
     _add_correlate(subparsers)
+    _add_serve(subparsers)
     _add_analyze(subparsers)
     _add_figures(subparsers)
     _add_mapping_template(subparsers)

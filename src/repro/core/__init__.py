@@ -11,6 +11,8 @@ The pipeline (Figure 1) is assembled from:
   loops, Python-scale;
 * :class:`ShardedEngine` — worker processes over hash-partitioned
   storage, multi-core scale;
+* :class:`AsyncEngine` — one asyncio loop with live socket ingest
+  (NetFlow over UDP, DNS over TCP), the deployed-service shape;
 * :class:`SimulationEngine` — deterministic replay with a calibrated
   resource model, deployment-scale figures;
 * :class:`Variant` — the paper's ablation benchmarks.
@@ -22,6 +24,7 @@ from repro.core.adapter import (
     load_mapping,
     load_mapping_file,
 )
+from repro.core.async_engine import AsyncEngine, TcpDnsIngest, UdpFlowIngest
 from repro.core.config import FlowDNSConfig
 from repro.core.engine import ThreadedEngine
 from repro.core.flowdns import FlowDNS
@@ -33,6 +36,7 @@ from repro.core.metrics import (
     CostModel,
     CostModelParams,
     EngineReport,
+    IngestStats,
     IntervalCounters,
     IntervalSample,
 )
@@ -59,7 +63,11 @@ __all__ = [
     "FlowDNSConfig",
     "ThreadedEngine",
     "ShardedEngine",
+    "AsyncEngine",
+    "UdpFlowIngest",
+    "TcpDnsIngest",
     "SimulationEngine",
+    "IngestStats",
     "ENGINE_VARIANTS",
     "engine_for",
     "DnsStorage",

@@ -8,10 +8,14 @@ Faithful to the paper's worker architecture:
 * LookUp workers per Netflow stream pop, correlate, and enqueue results;
 * Write workers drain the write queue to the output sink.
 
-Worker bodies drain their buffers in batches (``engine_batch_size``
-records per wake-up) through the batched processor APIs, so the lock
-round-trip per stage is paid once per batch rather than once per record —
-the Python analogue of the Go implementation's amortised worker loops.
+The lane bodies — item normalisation, batch accumulation, exact-TTL
+semantics, the columnar decode→correlate path, report assembly — live in
+:mod:`repro.core.pipeline`, shared with the sharded and async engines.
+What remains here is this engine's *scheduling policy*: real threads
+over bounded buffers, draining in batches (``engine_batch_size`` records
+per wake-up) so the lock round-trip per stage is paid once per batch
+rather than once per record — the Python analogue of the Go
+implementation's amortised worker loops.
 
 This engine measures real concurrency behaviour — buffer loss, lock
 contention, queueing delay — at Python-scale record rates. The paper's
@@ -40,43 +44,26 @@ from repro.core.config import FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import CorrelationBatch, LookUpProcessor
 from repro.core.metrics import EngineReport
+from repro.core.pipeline import (
+    POP_TIMEOUT,
+    FillLane,
+    LookupLane,
+    buffer_loss_rate,
+    collect_ingest,
+    drain_buffer,
+    gated_flow_source,
+    merge_summaries,
+    stack_summary,
+)
 from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import DiscardSink, WriteWorker
-from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
-from repro.netflow.records import FlowBatch, FlowRecord
 from repro.streams.queues import WorkerQueue
 from repro.streams.stream import RecordStream
 
-_POP_TIMEOUT = 0.1
+__all__ = ["ThreadedEngine", "gated_flow_source"]
 
-
-def gated_flow_source(
-    engine: "ThreadedEngine",
-    items: Iterable,
-    timeout: float = 300.0,
-    poll: float = 0.005,
-    on_timeout=None,
-) -> Iterable:
-    """A flow source that waits for the engine's DNS fill to finish.
-
-    Yields nothing until ``engine.fillup_complete`` (or ``timeout``
-    seconds pass, after which ``on_timeout`` — if given — is called once
-    before yielding anyway). The wait runs in the receiver thread at the
-    first ``next()``. This is the one shared implementation of the
-    deterministic-matching gate used by the CLI's offline mode, the test
-    suite, and the benchmarks.
-    """
-
-    def source():
-        deadline = time.monotonic() + timeout
-        while not engine.fillup_complete and time.monotonic() < deadline:
-            time.sleep(poll)
-        if not engine.fillup_complete and on_timeout is not None:
-            on_timeout()
-        yield from items
-
-    return source()
+_POP_TIMEOUT = POP_TIMEOUT
 
 
 class ThreadedEngine:
@@ -121,88 +108,37 @@ class ThreadedEngine:
         while not stream.exhausted:
             stream.pump(1024)
 
-    def _fillup_worker(self, stream: RecordStream, processor: FillUpProcessor) -> None:
-        """Drain the DNS buffer in batches through the batched fill path.
-
-        One buffer lock round-trip and one storage round-trip per batch.
-        Exact-TTL mode keeps per-record processing and per-record sweeps:
-        the A.8 experiment's result *is* the sweep-cost meltdown, so its
-        timing must not be amortised away.
-        """
-        batch_size = self.config.engine_batch_size
-        exact_ttl = self.config.exact_ttl
-        buffer = stream.buffer
-        while True:
-            items = buffer.pop_many(batch_size, timeout=_POP_TIMEOUT)
-            if not items:
-                if buffer.closed and len(buffer) == 0:
-                    return
-                continue
-            records: List[DnsRecord] = []
-            for item in items:
-                records.extend(self._to_dns_records(item, processor))
-            if not records:
-                continue
-            if exact_ttl:
-                for record in records:
-                    processor.process(record)
-                    self.storage.tick(record.ts)
-            else:
-                processor.process_batch(records)
-
-    @staticmethod
-    def _to_dns_records(item, processor: FillUpProcessor) -> Iterable[DnsRecord]:
-        if isinstance(item, DnsRecord):
-            return (item,)
-        if isinstance(item, tuple) and len(item) == 2:
-            ts, payload = item
-            return processor.filter_message(ts, payload)
-        return ()
+    def _fillup_worker(self, stream: RecordStream, lane: FillLane) -> None:
+        """Drain the DNS buffer in batches through the shared fill lane."""
+        drain_buffer(
+            stream.buffer, self.config.engine_batch_size,
+            lane.process_items, timeout=_POP_TIMEOUT,
+        )
 
     def _lookup_worker(
         self,
         stream: RecordStream,
-        processor: LookUpProcessor,
-        collector: FlowCollector,
+        lane: LookupLane,
         write_queue: WorkerQueue,
     ) -> None:
-        """Drain the flow buffer through the columnar decode→correlate path.
+        """Drain the flow buffer through the columnar decode→correlate lane.
 
-        Stream items (raw datagrams, :class:`FlowRecord` objects, or whole
-        :class:`FlowBatch` es) are gathered into one batch of columns per
-        wake-up, correlated with :meth:`correlate_batch_columns`, and the
-        resulting :class:`CorrelationBatch` is enqueued as a single write
-        item — no per-flow record/result objects anywhere on the lane.
+        One :class:`CorrelationBatch` is enqueued per wake-up as a single
+        write item — no per-flow record/result objects anywhere.
         """
-        batch_size = self.config.engine_batch_size
-        buffer = stream.buffer
-        while True:
-            items = buffer.pop_many(batch_size, timeout=_POP_TIMEOUT)
-            if not items:
-                if buffer.closed and len(buffer) == 0:
-                    return
-                continue
-            batch = FlowBatch()
-            for item in items:
-                if isinstance(item, FlowBatch):
-                    batch.extend(item)
-                elif isinstance(item, FlowRecord):
-                    batch.append_record(item)
-                elif isinstance(item, (bytes, bytearray)):
-                    batch.extend(collector.ingest_columns(bytes(item)))
-            if not len(batch):
-                continue
-            correlated = processor.correlate_batch_columns(batch)
-            write_queue.push((correlated, time.monotonic()))
+
+        def handle(items: List) -> None:
+            correlated = lane.correlate_items(items)
+            if correlated is not None:
+                write_queue.push((correlated, time.monotonic()))
+
+        drain_buffer(
+            stream.buffer, self.config.engine_batch_size,
+            handle, timeout=_POP_TIMEOUT,
+        )
 
     def _write_worker(self, write_queue: WorkerQueue) -> None:
-        batch_size = self.config.engine_batch_size
-        while True:
-            items = write_queue.pop_many(batch_size, timeout=_POP_TIMEOUT)
-            if not items:
-                if write_queue.closed and len(write_queue) == 0:
-                    return
-                continue
+        def handle(items: List) -> None:
             now = time.monotonic()
             with self._writer_lock:
                 for payload, created_monotonic in items:
@@ -211,6 +147,10 @@ class ThreadedEngine:
                         self.writer.write_batch(payload, delay=queueing_delay)
                     else:
                         self.writer.write(payload, now=payload.flow.ts + queueing_delay)
+
+        drain_buffer(
+            write_queue, self.config.engine_batch_size, handle, timeout=_POP_TIMEOUT
+        )
 
     # --- orchestration -----------------------------------------------------------
 
@@ -245,8 +185,9 @@ class ThreadedEngine:
             for _ in range(cfg.fillup_workers_per_stream):
                 processor = FillUpProcessor(self.storage)
                 self._fillup_processors.append(processor)
+                lane = FillLane(processor, self.storage, exact_ttl=cfg.exact_ttl)
                 t = threading.Thread(
-                    target=self._fillup_worker, args=(stream, processor), daemon=True
+                    target=self._fillup_worker, args=(stream, lane), daemon=True
                 )
                 fillup_threads.append(t)
                 threads.append(t)
@@ -258,9 +199,10 @@ class ThreadedEngine:
             for _ in range(cfg.lookup_workers_per_stream):
                 processor = LookUpProcessor(self.storage, cfg)
                 self._lookup_processors.append(processor)
+                lane = LookupLane(processor, collector)
                 t = threading.Thread(
                     target=self._lookup_worker,
-                    args=(stream, processor, collector, write_queue),
+                    args=(stream, lane, write_queue),
                     daemon=True,
                 )
                 lookup_threads.append(t)
@@ -280,23 +222,17 @@ class ThreadedEngine:
         for t in write_threads:
             t.join()
 
-        return self._build_report()
+        report = self._build_report()
+        collect_ingest(report, list(dns_sources) + list(flow_sources))
+        return report
 
     def _build_report(self) -> EngineReport:
-        report = EngineReport(variant_name="threaded", flow_lane="columnar")
-        lookup_stats = [p.stats for p in self._lookup_processors]
-        report.total_bytes = sum(s.bytes_in for s in lookup_stats)
-        report.correlated_bytes = sum(s.bytes_matched for s in lookup_stats)
-        report.flow_records = sum(s.flows_in for s in lookup_stats)
-        report.matched_flows = sum(s.matched for s in lookup_stats)
-        report.dns_records = sum(p.stats.records_in for p in self._fillup_processors)
-        for stats in lookup_stats:
-            for length, count in stats.chain_lengths.items():
-                report.chain_lengths[length] = report.chain_lengths.get(length, 0) + count
-        offered = sum(s.buffer.stats.offered for s in self.dns_streams + self.flow_streams)
-        dropped = sum(s.buffer.stats.dropped for s in self.dns_streams + self.flow_streams)
-        report.overall_loss_rate = dropped / offered if offered else 0.0
+        summary = stack_summary(
+            self._fillup_processors, self._lookup_processors, self.storage
+        )
+        report = merge_summaries([summary], variant_name="threaded")
+        report.overall_loss_rate = buffer_loss_rate(
+            s.buffer for s in self.dns_streams + self.flow_streams
+        )
         report.max_write_delay = self.writer.stats.max_delay
-        report.final_map_entries = self.storage.total_entries()
-        report.overwrites = self.storage.overwrites()
         return report

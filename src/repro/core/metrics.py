@@ -210,6 +210,35 @@ class CostModel:
 
 
 @dataclass
+class IngestStats:
+    """Per-source ingest counters for socket-fed pipeline sources.
+
+    Models the paper's loss point at the collector's edge: a receiver
+    (UDP datagram listener, DNS-over-TCP server, or the blocking
+    :class:`repro.netflow.udp.UdpFlowSource`) counts what arrived off the
+    wire, what it managed to hand to the pipeline, and what it had to
+    drop when its bounded buffer was full (backpressure). Engines attach
+    one of these per socket source under :attr:`EngineReport.ingest`.
+    """
+
+    name: str = "ingest"
+    #: Wire units received (UDP datagrams / framed TCP messages).
+    received: int = 0
+    #: Items actually handed to the pipeline's buffers.
+    accepted: int = 0
+    #: Items dropped because the bounded ingest buffer was full.
+    dropped: int = 0
+    #: Wire units that failed to decode/frame (counted, never raised).
+    malformed: int = 0
+    bytes_in: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of received wire units that were dropped."""
+        return self.dropped / self.received if self.received else 0.0
+
+
+@dataclass
 class EngineReport:
     """Everything one engine run produced, for benches and tests."""
 
@@ -231,6 +260,9 @@ class EngineReport:
     #: "object" (per-record FlowRecord/CorrelationResult, the reference
     #: path the simulation engine and direct processor calls use).
     flow_lane: str = "object"
+    #: Per-source ingest counters for socket-fed sources (keyed by source
+    #: name); empty for runs whose sources are plain iterables.
+    ingest: Dict[str, IngestStats] = field(default_factory=dict)
 
     @property
     def correlation_rate(self) -> float:

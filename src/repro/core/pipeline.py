@@ -1,0 +1,336 @@
+"""Shared pipeline runtime for the live engines (stages and lanes).
+
+Every live engine — threads (:class:`repro.core.engine.ThreadedEngine`),
+processes (:class:`repro.core.sharded.ShardedEngine`), or a single
+asyncio loop (:class:`repro.core.async_engine.AsyncEngine`) — runs the
+same two lanes from the paper's Figure 1:
+
+* the **fill lane** (DNS): normalise stream items into
+  :class:`DnsRecord` s (wire payloads go through the FillUp filter),
+  then store them — per-record with expiry sweeps in exact-TTL mode,
+  batched otherwise;
+* the **lookup lane** (Netflow): normalise stream items (raw export
+  datagrams, :class:`FlowRecord` objects, or whole :class:`FlowBatch`
+  es) into one columnar batch per wake-up, correlate it, and hand the
+  resulting :class:`CorrelationBatch` to the write sink.
+
+Before this module existed each engine re-implemented the lanes, the
+buffer drain loop, and the report assembly; an engine now only supplies
+*scheduling policy* — how lane invocations map onto threads, worker
+processes + IPC column tuples, or asyncio tasks — and everything else
+(item normalisation, exact-TTL semantics, stats plumbing, report
+merging) stays in one place, pinned by one parity suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.fillup import FillUpProcessor
+from repro.core.lookup import CorrelationBatch, LookUpProcessor
+from repro.core.metrics import EngineReport, IngestStats
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.stream import DnsRecord
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import FlowBatch, FlowRecord
+
+#: Default blocking-pop slice for thread-based drain loops.
+POP_TIMEOUT = 0.1
+
+
+# --- flow gating ------------------------------------------------------------
+
+
+def gated_flow_source(
+    engine,
+    items: Iterable,
+    timeout: float = 300.0,
+    poll: float = 0.005,
+    on_timeout=None,
+) -> Iterable:
+    """A flow source that waits for the engine's DNS fill to finish.
+
+    Yields nothing until ``engine.fillup_complete`` (or ``timeout``
+    seconds pass, after which ``on_timeout`` — if given — is called once
+    before yielding anyway). The wait runs in the receiver thread at the
+    first ``next()``. This is the one shared implementation of the
+    deterministic-matching gate used by the CLI's offline mode, the test
+    suite, and the benchmarks.
+    """
+
+    def source():
+        deadline = time.monotonic() + timeout
+        while not engine.fillup_complete and time.monotonic() < deadline:
+            time.sleep(poll)
+        if not engine.fillup_complete and on_timeout is not None:
+            on_timeout()
+        yield from items
+
+    return source()
+
+
+# --- item normalisation -----------------------------------------------------
+
+
+def dns_item_records(item, processor: FillUpProcessor) -> Sequence[DnsRecord]:
+    """Normalise one DNS stream item into stream records.
+
+    Accepts a :class:`DnsRecord` (passed through) or a ``(ts, payload)``
+    tuple whose payload is wire bytes or a decoded message — the FillUp
+    filter handles validation. Anything else normalises to nothing.
+    """
+    if isinstance(item, DnsRecord):
+        return (item,)
+    if isinstance(item, tuple) and len(item) == 2:
+        ts, payload = item
+        return processor.filter_message(ts, payload)
+    return ()
+
+
+def extend_flow_batch(batch: FlowBatch, item, collector: FlowCollector) -> None:
+    """Fold one flow stream item into a columnar accumulator.
+
+    Raw export datagrams decode through the (stateful, template-holding)
+    ``collector`` straight to columns; records and batches append without
+    materialising anything. Unknown item types are ignored, matching the
+    engines' historical tolerance.
+    """
+    if isinstance(item, FlowBatch):
+        batch.extend(item)
+    elif isinstance(item, FlowRecord):
+        batch.append_record(item)
+    elif isinstance(item, (bytes, bytearray)):
+        batch.extend(collector.ingest_columns(bytes(item)))
+
+
+def flow_items_to_batch(items: Iterable, collector: FlowCollector) -> FlowBatch:
+    """Accumulate a drained wake-up's items into one :class:`FlowBatch`."""
+    batch = FlowBatch()
+    for item in items:
+        extend_flow_batch(batch, item, collector)
+    return batch
+
+
+# --- lanes ------------------------------------------------------------------
+
+
+class FillLane:
+    """The DNS fill stage: items → validated records → storage.
+
+    Exact-TTL mode keeps per-record processing and per-record sweeps:
+    the A.8 experiment's result *is* the sweep-cost meltdown, so its
+    timing must not be amortised away.
+    """
+
+    __slots__ = ("processor", "storage", "exact_ttl")
+
+    def __init__(
+        self,
+        processor: FillUpProcessor,
+        storage: Optional[DnsStorage] = None,
+        exact_ttl: bool = False,
+    ):
+        self.processor = processor
+        self.storage = storage if storage is not None else processor.storage
+        self.exact_ttl = exact_ttl
+
+    def process_records(self, records: Sequence[DnsRecord]) -> None:
+        """Store already-normalised records (one batch round-trip)."""
+        if not records:
+            return
+        if self.exact_ttl:
+            for record in records:
+                self.processor.process(record)
+                self.storage.tick(record.ts)
+        else:
+            self.processor.process_batch(records)
+
+    def process_items(self, items: Iterable) -> None:
+        """Normalise and store one wake-up's worth of stream items."""
+        records: List[DnsRecord] = []
+        for item in items:
+            records.extend(dns_item_records(item, self.processor))
+        self.process_records(records)
+
+
+class LookupLane:
+    """The flow lookup stage: items → one columnar batch → correlation.
+
+    The columnar fast path end-to-end: whatever mix of item types a
+    stream carries, decode→correlate touches only :class:`FlowBatch`
+    columns and per-record objects are never materialised. The object
+    reference path stays available via the processor's
+    ``process``/``correlate_batch`` for parity tooling.
+    """
+
+    __slots__ = ("processor", "collector")
+
+    def __init__(
+        self, processor: LookUpProcessor, collector: Optional[FlowCollector] = None
+    ):
+        self.processor = processor
+        self.collector = collector if collector is not None else FlowCollector()
+
+    def correlate_batch(self, batch: FlowBatch) -> Optional[CorrelationBatch]:
+        """Correlate one columnar batch; None when it is empty."""
+        if not len(batch):
+            return None
+        return self.processor.correlate_batch_columns(batch)
+
+    def correlate_items(self, items: Iterable) -> Optional[CorrelationBatch]:
+        """Accumulate one wake-up's items into a batch and correlate it."""
+        return self.correlate_batch(flow_items_to_batch(items, self.collector))
+
+
+# --- drain loop -------------------------------------------------------------
+
+
+def drain_buffer(
+    buffer,
+    batch_size: int,
+    handle: Callable[[List], None],
+    timeout: float = POP_TIMEOUT,
+) -> None:
+    """The standard worker body: batch-pop a bounded buffer until closed.
+
+    One blocking ``pop_many`` per wake-up (lock round-trip amortised over
+    the batch), re-checking closure on every timeout slice. Shared by the
+    threaded engine's fill/lookup/write workers; the asyncio engine runs
+    the same shape over its own awaitable buffers.
+    """
+    while True:
+        items = buffer.pop_many(batch_size, timeout=timeout)
+        if not items:
+            if buffer.closed and len(buffer) == 0:
+                return
+            continue
+        handle(items)
+
+
+# --- ingest accounting ------------------------------------------------------
+
+
+def collect_ingest(report: EngineReport, sources: Iterable) -> None:
+    """Attach per-source ingest counters for socket-fed sources.
+
+    Any source exposing an ``ingest_stats`` attribute (an
+    :class:`IngestStats`) — :class:`repro.netflow.udp.UdpFlowSource`, the
+    async engine's socket servers — gets its counters surfaced under
+    :attr:`EngineReport.ingest`, keyed by the stats' name (suffixed on
+    collision so two unnamed sources don't shadow each other).
+    """
+    for source in sources:
+        stats = getattr(source, "ingest_stats", None)
+        if not isinstance(stats, IngestStats):
+            continue
+        key = stats.name
+        if key in report.ingest:
+            key = f"{key}#{len(report.ingest)}"
+        report.ingest[key] = stats
+
+
+# --- report assembly --------------------------------------------------------
+
+#: The counter keys one worker stack (fillup + lookup + storage) reports.
+_SUMMARY_ZEROS = {
+    "flows_in": 0,
+    "bytes_in": 0,
+    "bytes_matched": 0,
+    "matched": 0,
+    "unmatched": 0,
+    "chain_lengths": {},
+    "records_in": 0,
+    "records_stored": 0,
+    "map_entries": 0,
+    "overwrites": 0,
+}
+
+
+def empty_summary(shard_id: int, error: Optional[str]) -> Dict:
+    """A zeroed per-stack report, used when a worker dies before reporting."""
+    summary: Dict = {"shard": shard_id, "error": error}
+    summary.update({k: ({} if isinstance(v, dict) else v) for k, v in _SUMMARY_ZEROS.items()})
+    return summary
+
+
+def stack_summary(
+    fillup_processors: Sequence[FillUpProcessor],
+    lookup_processors: Sequence[LookUpProcessor],
+    storage: DnsStorage,
+    shard_id: int = 0,
+    error: Optional[str] = None,
+) -> Dict:
+    """Flatten one worker stack's counters into a plain-dict summary.
+
+    The dict is the engines' lingua franca for report assembly: the
+    sharded engine pickles it over IPC, the threaded and async engines
+    build it in-process, and :func:`merge_summaries` folds any number of
+    them into one :class:`EngineReport`.
+    """
+    chain_lengths: Dict[int, int] = {}
+    for processor in lookup_processors:
+        for length, count in processor.stats.chain_lengths.items():
+            chain_lengths[length] = chain_lengths.get(length, 0) + count
+    return {
+        "shard": shard_id,
+        "error": error,
+        "flows_in": sum(p.stats.flows_in for p in lookup_processors),
+        "bytes_in": sum(p.stats.bytes_in for p in lookup_processors),
+        "bytes_matched": sum(p.stats.bytes_matched for p in lookup_processors),
+        "matched": sum(p.stats.matched for p in lookup_processors),
+        "unmatched": sum(p.stats.unmatched for p in lookup_processors),
+        "chain_lengths": chain_lengths,
+        "records_in": sum(p.stats.records_in for p in fillup_processors),
+        "records_stored": sum(p.stats.records_stored for p in fillup_processors),
+        "map_entries": storage.total_entries(),
+        "overwrites": storage.overwrites(),
+    }
+
+
+def merge_summaries(
+    summaries: Sequence[Dict],
+    variant_name: str,
+    flow_lane: str = "columnar",
+    dns_records: Optional[int] = None,
+    broadcast_overwrites: bool = False,
+) -> EngineReport:
+    """Fold worker-stack summaries into one :class:`EngineReport`.
+
+    ``dns_records`` overrides the summed ``records_in`` when the engine
+    counted DNS records upstream of the stacks (the sharded engine's
+    router counts each record once, while broadcast records re-count in
+    every shard). ``broadcast_overwrites=True`` takes the max overwrite
+    count instead of the sum — with broadcast address records every stack
+    observes the same IP-key overwrites, so summing would multiply them.
+    """
+    report = EngineReport(variant_name=variant_name, flow_lane=flow_lane)
+    report.total_bytes = sum(s["bytes_in"] for s in summaries)
+    report.correlated_bytes = sum(s["bytes_matched"] for s in summaries)
+    report.flow_records = sum(s["flows_in"] for s in summaries)
+    report.matched_flows = sum(s["matched"] for s in summaries)
+    report.dns_records = (
+        dns_records
+        if dns_records is not None
+        else sum(s["records_in"] for s in summaries)
+    )
+    for summary in summaries:
+        for length, count in summary["chain_lengths"].items():
+            report.chain_lengths[length] = report.chain_lengths.get(length, 0) + count
+    # Resident entries across all stacks: replicated (broadcast) entries
+    # genuinely occupy memory in each holding process, so they always sum.
+    report.final_map_entries = sum(s["map_entries"] for s in summaries)
+    if broadcast_overwrites:
+        report.overwrites = max((s["overwrites"] for s in summaries), default=0)
+    else:
+        report.overwrites = sum(s["overwrites"] for s in summaries)
+    return report
+
+
+def buffer_loss_rate(buffers: Iterable) -> float:
+    """Overall ingress loss across a run's bounded stream buffers."""
+    offered = dropped = 0
+    for buffer in buffers:
+        offered += buffer.stats.offered
+        dropped += buffer.stats.dropped
+    return dropped / offered if offered else 0.0

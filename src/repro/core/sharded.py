@@ -9,6 +9,12 @@ FillUp/LookUp/storage stack for its slice of the address space. The
 parent routes record batches to shards over IPC and merges the per-shard
 counters into one :class:`EngineReport`.
 
+The lane bodies each shard runs — exact-TTL-aware fill, columnar
+correlate, summary/report assembly — come from
+:mod:`repro.core.pipeline`, shared with the threaded and async engines;
+this module owns only the *scheduling policy*: process fan-out, hash
+routing, and the batched IPC framing.
+
 Routing invariants (what makes the partition correct):
 
 * A/AAAA records go to the shard that owns their *answer* IP — the same
@@ -46,11 +52,20 @@ from repro.core.fillup import FillUpProcessor
 from repro.core.labeler import ip_label
 from repro.core.lookup import LookUpProcessor
 from repro.core.metrics import EngineReport
+from repro.core.pipeline import (
+    FillLane,
+    LookupLane,
+    collect_ingest,
+    dns_item_records,
+    empty_summary,
+    extend_flow_batch,
+    merge_summaries,
+    stack_summary,
+)
 from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import HEADER, format_batch, format_result
-from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
-from repro.netflow.records import FlowBatch, FlowDirection, FlowRecord
+from repro.netflow.records import FlowBatch, FlowDirection
 from repro.util.errors import ConfigError
 
 #: Message kinds on the shard input/output queues.
@@ -67,26 +82,8 @@ _FLOW_COLS = 4
 _QUEUE_DEPTH = 16
 
 
-def _empty_summary(shard_id: int, error: Optional[str]) -> Dict:
-    """A zeroed per-shard report, used when a shard dies before reporting."""
-    return {
-        "shard": shard_id,
-        "error": error,
-        "flows_in": 0,
-        "bytes_in": 0,
-        "bytes_matched": 0,
-        "matched": 0,
-        "unmatched": 0,
-        "chain_lengths": {},
-        "records_in": 0,
-        "records_stored": 0,
-        "map_entries": 0,
-        "overwrites": 0,
-    }
-
-
 def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
-    """One shard process: a private storage stack fed by batch messages.
+    """One shard process: a private lane stack fed by batch messages.
 
     Runs until the ``None`` sentinel, then reports its counters. Any
     exception is reported back instead of hanging the parent.
@@ -94,6 +91,8 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
     storage = DnsStorage(config)
     fillup = FillUpProcessor(storage)
     lookup = LookUpProcessor(storage, config)
+    fill_lane = FillLane(fillup, storage, exact_ttl=config.exact_ttl)
+    lookup_lane = LookupLane(lookup)
     error: Optional[str] = None
     try:
         while True:
@@ -102,18 +101,10 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
                 break
             kind, batch = message
             if kind == _DNS:
-                if config.exact_ttl:
-                    # Per-record sweeps, like the threaded engine: the A.8
-                    # exact-TTL result is the sweep cost itself and must
-                    # not be amortised away.
-                    for record in batch:
-                        fillup.process(record)
-                        storage.tick(record.ts)
-                else:
-                    fillup.process_batch(batch)
+                fill_lane.process_records(batch)
             elif kind == _FLOW_COLS:
-                correlated = lookup.correlate_batch_columns(FlowBatch.from_columns(batch))
-                if want_rows:
+                correlated = lookup_lane.correlate_batch(FlowBatch.from_columns(batch))
+                if want_rows and correlated is not None:
                     out_queue.put((_ROWS, format_batch(correlated)))
             else:
                 # Object-lane reference path; the parent routes columns,
@@ -127,23 +118,9 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
         # abandoning it would block the parent's routers forever.
         while in_queue.get() is not None:
             pass
-    out_queue.put((
-        _REPORT,
-        {
-            "shard": shard_id,
-            "error": error,
-            "flows_in": lookup.stats.flows_in,
-            "bytes_in": lookup.stats.bytes_in,
-            "bytes_matched": lookup.stats.bytes_matched,
-            "matched": lookup.stats.matched,
-            "unmatched": lookup.stats.unmatched,
-            "chain_lengths": dict(lookup.stats.chain_lengths),
-            "records_in": fillup.stats.records_in,
-            "records_stored": fillup.stats.records_stored,
-            "map_entries": storage.total_entries(),
-            "overwrites": storage.overwrites(),
-        },
-    ))
+    out_queue.put((_REPORT, stack_summary(
+        [fillup], [lookup], storage, shard_id=shard_id, error=error
+    )))
 
 
 class _BatchRouter:
@@ -236,13 +213,7 @@ class ShardedEngine:
         dns_filter = FillUpProcessor(storage=None)
         seen = 0
         for item in source:
-            if isinstance(item, DnsRecord):
-                records = (item,)
-            elif isinstance(item, tuple) and len(item) == 2:
-                records = dns_filter.filter_message(item[0], item[1])
-            else:
-                continue
-            for record in records:
+            for record in dns_item_records(item, dns_filter):
                 seen += 1
                 if record.is_cname or (record.is_address and broadcast_addresses):
                     router.broadcast(_DNS, record)
@@ -271,7 +242,15 @@ class ShardedEngine:
         collector = FlowCollector()
         pending = [FlowBatch() for _ in range(num_shards)]
 
-        def route_batch(batch: FlowBatch) -> None:
+        for item in source:
+            # The same item normalisation every lookup lane uses, one
+            # stream item at a time so routing interleaves with decode
+            # (whole batches route in place, no intermediate copy).
+            if isinstance(item, FlowBatch):
+                batch = item
+            else:
+                batch = FlowBatch()
+                extend_flow_batch(batch, item, collector)
             keys = batch.src_ip_text if use_src else batch.dst_ip_text
             for i in range(len(batch)):
                 shard = ip_label(keys[i]) % num_shards
@@ -280,16 +259,6 @@ class ShardedEngine:
                 if len(accumulator) >= batch_size:
                     router.send(shard, (_FLOW_COLS, accumulator.columns()))
                     pending[shard] = FlowBatch()
-
-        for item in source:
-            if isinstance(item, FlowBatch):
-                route_batch(item)
-            elif isinstance(item, FlowRecord):
-                single = FlowBatch()
-                single.append_record(item)
-                route_batch(single)
-            elif isinstance(item, (bytes, bytearray)):
-                route_batch(collector.ingest_columns(bytes(item)))
         for shard, accumulator in enumerate(pending):
             if len(accumulator):
                 router.send(shard, (_FLOW_COLS, accumulator.columns()))
@@ -326,7 +295,7 @@ class ShardedEngine:
                     if shard in reported:
                         continue
                     if worker.ident is not None and not worker.is_alive():
-                        reports.append(_empty_summary(
+                        reports.append(empty_summary(
                             shard,
                             f"shard process died without reporting "
                             f"(exitcode {worker.exitcode})",
@@ -421,32 +390,15 @@ class ShardedEngine:
         failures = [r["error"] for r in reports if r.get("error")]
         if failures:
             raise RuntimeError(f"shard worker failed: {failures[0]}")
-        return self._merge_reports(reports)
-
-    def _merge_reports(self, reports: List[Dict]) -> EngineReport:
-        report = EngineReport(variant_name="sharded", flow_lane="columnar")
-        report.total_bytes = sum(r["bytes_in"] for r in reports)
-        report.correlated_bytes = sum(r["bytes_matched"] for r in reports)
-        report.flow_records = sum(r["flows_in"] for r in reports)
-        report.matched_flows = sum(r["matched"] for r in reports)
-        report.dns_records = self._dns_records_seen
-        for shard_report in reports:
-            for length, count in shard_report["chain_lengths"].items():
-                report.chain_lengths[length] = (
-                    report.chain_lengths.get(length, 0) + count
-                )
-        # Resident entries across all shard processes. CNAME (and, in BOTH
-        # mode, address) broadcasts are counted once per holding shard:
-        # replicated entries genuinely occupy memory in each process.
-        report.final_map_entries = sum(r["map_entries"] for r in reports)
-        if self.config.direction is FlowDirection.BOTH:
-            # Address records are broadcast, so every shard observes the
-            # same IP-key overwrites; summing would multiply the count by
-            # num_shards. Any one shard's count is the global count.
-            report.overwrites = max(
-                (r["overwrites"] for r in reports), default=0
-            )
-        else:
-            report.overwrites = sum(r["overwrites"] for r in reports)
+        report = merge_summaries(
+            reports,
+            variant_name="sharded",
+            dns_records=self._dns_records_seen,
+            # Address records are broadcast in BOTH mode, so every shard
+            # observes the same IP-key overwrites; summing would multiply
+            # the count by num_shards.
+            broadcast_overwrites=self.config.direction is FlowDirection.BOTH,
+        )
         report.overall_loss_rate = 0.0
+        collect_ingest(report, list(dns_sources) + list(flow_sources))
         return report

@@ -50,13 +50,17 @@ FIGURE7_VARIANTS = (
 
 #: Engine implementations, for CLI/embedding selection. ``simulation``
 #: replays flat record iterables deterministically with modelled
-#: resources; ``threaded`` and ``sharded`` take sequences of stream
-#: sources and run the live pipeline (one process, batched workers) or
-#: the multiprocessing variant (storage partitioned by lookup-IP hash).
+#: resources; ``threaded``, ``sharded`` and ``async`` take sequences of
+#: stream sources and run the live pipeline (one process, batched
+#: workers), the multiprocessing variant (storage partitioned by
+#: lookup-IP hash), or the single-loop asyncio variant whose sources may
+#: also be live loopback/network listeners (NetFlow over UDP, DNS over
+#: TCP).
 ENGINE_VARIANTS = {
     "simulation": "deterministic single-threaded replay, modelled resources",
     "threaded": "live multi-threaded pipeline with batched workers",
     "sharded": "multiprocessing pipeline sharded by lookup-IP hash",
+    "async": "asyncio pipeline with live UDP/TCP socket ingest",
 }
 
 
@@ -84,6 +88,10 @@ def engine_for(
         from repro.core.sharded import ShardedEngine
 
         return ShardedEngine(config, sink=sink, num_shards=num_shards)
+    if name == "async":
+        from repro.core.async_engine import AsyncEngine
+
+        return AsyncEngine(config, sink=sink)
     raise ValueError(f"unknown engine {name!r}; known: {sorted(ENGINE_VARIANTS)}")
 
 

@@ -41,15 +41,41 @@ class TcpFrameDecoder:
     The decoder never raises on partial input — a short read simply
     waits for more bytes. A zero-length frame is legal per the RFC
     (and dropped, since an empty DNS message cannot parse anyway).
+
+    ``max_message_size`` is the corruption guard: a length prefix beyond
+    it means the stream has desynchronised (real resolver exports stay
+    far below the 64 KiB framing ceiling), and :meth:`feed` raises
+    :class:`ParseError` rather than buffering towards a frame that will
+    never arrive intact. The default cap is the 16-bit framing maximum,
+    which any ``!H`` prefix trivially satisfies; collectors that know
+    their resolvers' realistic message sizes pass a tighter cap.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_message_size: int = MAX_MESSAGE_SIZE) -> None:
+        if not 0 < max_message_size <= MAX_MESSAGE_SIZE:
+            raise ParseError(
+                f"max_message_size must be in (0, {MAX_MESSAGE_SIZE}]: "
+                f"{max_message_size}"
+            )
         self._buffer = bytearray()
+        self._corrupt: str = ""
+        self.max_message_size = max_message_size
         self.messages_out = 0
         self.bytes_in = 0
 
     def feed(self, chunk: bytes) -> List[bytes]:
-        """Add a chunk; return every message completed by it."""
+        """Add a chunk; return every message completed by it.
+
+        Raises :class:`ParseError` when a frame claims more than
+        ``max_message_size`` bytes — the stream-corruption path; the
+        decoder is not usable afterwards (resynchronisation is the
+        caller's policy, typically dropping the connection). Messages
+        completed *before* the corrupt prefix in the same chunk are
+        still returned (they framed correctly and must not be lost);
+        the raise is deferred to the next :meth:`feed` or :meth:`close`.
+        """
+        if self._corrupt:
+            raise ParseError(self._corrupt)
         self._buffer.extend(chunk)
         self.bytes_in += len(chunk)
         out: List[bytes] = []
@@ -57,6 +83,16 @@ class TcpFrameDecoder:
             if len(self._buffer) < _LEN.size:
                 break
             (length,) = _LEN.unpack_from(self._buffer, 0)
+            if length > self.max_message_size:
+                self._corrupt = (
+                    f"framed length {length} exceeds cap "
+                    f"{self.max_message_size}: stream corrupt"
+                )
+                if out:
+                    # Hand back what framed cleanly; the caller learns of
+                    # the corruption on its next feed()/close().
+                    return out
+                raise ParseError(self._corrupt)
             if len(self._buffer) < _LEN.size + length:
                 break
             payload = bytes(self._buffer[_LEN.size : _LEN.size + length])
@@ -72,7 +108,10 @@ class TcpFrameDecoder:
         return len(self._buffer)
 
     def close(self) -> None:
-        """Signal EOF; leftover bytes indicate a truncated final frame."""
+        """Signal EOF; leftover bytes indicate a truncated final frame
+        (or a corruption detected on the last feed)."""
+        if self._corrupt:
+            raise ParseError(self._corrupt)
         if self._buffer:
             raise ParseError(
                 f"TCP stream ended mid-frame with {len(self._buffer)} bytes pending"

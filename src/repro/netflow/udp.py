@@ -2,55 +2,122 @@
 
 Routers export flow records over UDP; :class:`UdpFlowSource` binds a
 socket, decodes datagrams through a :class:`FlowCollector`, and exposes
-the resulting flow records as an iterable suitable for handing straight
-to :class:`repro.core.engine.ThreadedEngine` as one of its flow streams.
+the decoded flows as an iterable suitable for handing straight to the
+live engines as one of their flow streams. By default it yields columnar
+:class:`FlowBatch` items (one per datagram, via
+:meth:`FlowCollector.ingest_columns`) so live UDP ingest rides the
+engines' columnar fast lane; ``yield_records=True`` restores the
+per-record object iteration for consumers that want ``FlowRecord`` s.
 
 The source is deliberately minimal: one socket, one thread (the caller's
-— iteration does the receiving), a stop flag, and drop-free decode
-statistics from the underlying collector. Sizing the OS receive buffer
-is the deployment's job; the paper's loss accounting happens in the
+— iteration does the receiving), a stop flag, and per-source ingest
+counters (:class:`repro.core.metrics.IngestStats`, surfaced by the
+engines under ``EngineReport.ingest``). Sizing the OS receive buffer is
+the deployment's job; the paper's loss accounting happens in the
 engine's bounded stream buffers.
+
+``stop()`` wakes a ``recvfrom`` blocked in another thread immediately
+(zero-byte wake datagram, then socket close) — a stopped source
+terminates without waiting out ``recv_timeout``. Stopping twice, or
+iterating after stop, is safe and yields nothing.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple, Union
 
+from repro.core.metrics import IngestStats
 from repro.netflow.collector import FlowCollector
-from repro.netflow.records import FlowRecord
+from repro.netflow.records import FlowBatch, FlowRecord
+from repro.util.errors import ConfigError
 
 #: Largest datagram we accept; NetFlow exports stay well under this.
 MAX_DATAGRAM = 65535
 
 
+def _bind_udp_socket(bind_addr: Tuple[str, int]) -> socket.socket:
+    """Bind a UDP socket for the given address, any family.
+
+    The family comes from ``getaddrinfo`` so IPv6 literals ("::1") work
+    as naturally as IPv4. Binding an IPv6 wildcard ("::") clears
+    ``IPV6_V6ONLY`` where the platform allows, giving one dual-stack
+    socket that receives exporters over both families.
+    """
+    host, port = bind_addr
+    infos = socket.getaddrinfo(
+        host, port, type=socket.SOCK_DGRAM, flags=socket.AI_PASSIVE
+    )
+    if not infos:  # pragma: no cover - getaddrinfo raises before this
+        raise ConfigError(f"cannot resolve bind address {bind_addr!r}")
+    family, _type, proto, _canon, sockaddr = infos[0]
+    sock = socket.socket(family, socket.SOCK_DGRAM, proto)
+    try:
+        if family == socket.AF_INET6 and host in ("::", ""):
+            try:
+                sock.setsockopt(socket.IPPROTO_IPV6, socket.IPV6_V6ONLY, 0)
+            except OSError:  # pragma: no cover - platform without dual-stack
+                pass
+        sock.bind(sockaddr)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
 class UdpFlowSource:
-    """Iterable of FlowRecords decoded from UDP export datagrams."""
+    """Iterable of columnar flow batches decoded from UDP export datagrams."""
 
     def __init__(
         self,
         bind_addr: Tuple[str, int] = ("127.0.0.1", 0),
         collector: Optional[FlowCollector] = None,
         recv_timeout: float = 0.2,
+        yield_records: bool = False,
     ):
         self.collector = collector if collector is not None else FlowCollector()
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        self._sock.bind(bind_addr)
+        self.yield_records = yield_records
+        self._sock = _bind_udp_socket(bind_addr)
         self._sock.settimeout(recv_timeout)
+        # Snapshot the bound address: stop() closes the socket, and a
+        # stopped source must still report where it was listening.
+        self._address = self._sock.getsockname()[:2]
         self._stopped = False
+        self.ingest_stats = IngestStats(name=f"udp[{self._address[0]}:{self._address[1]}]")
 
     @property
     def address(self) -> Tuple[str, int]:
         """The bound (host, port) — exporters send here."""
-        return self._sock.getsockname()
+        return self._address
 
     def stop(self) -> None:
-        """Make the iterator finish after its current timeout slice."""
+        """Make the iterator finish immediately.
+
+        A zero-byte wake datagram is sent to our own address (on Linux,
+        merely closing the fd does *not* interrupt a thread already
+        parked in ``recvfrom``) and the socket is then closed, so a
+        blocked receiver wakes right away — via the wake datagram or the
+        close's ``OSError``, both swallowed because the stop flag is
+        already set — instead of waiting out ``recv_timeout``.
+        Idempotent: stopping twice is a no-op.
+        """
+        if self._stopped:
+            return
         self._stopped = True
+        try:
+            host, port = self._address
+            if host in ("0.0.0.0", ""):
+                host = "127.0.0.1"
+            elif host == "::":
+                host = "::1"
+            with socket.socket(self._sock.family, socket.SOCK_DGRAM) as wake:
+                wake.sendto(b"", (host, port))
+        except OSError:
+            pass
+        self._sock.close()
 
     def close(self) -> None:
         self.stop()
-        self._sock.close()
 
     def __enter__(self) -> "UdpFlowSource":
         return self
@@ -59,30 +126,63 @@ class UdpFlowSource:
         self.close()
 
     def recv_once(self) -> Optional[bytes]:
-        """One raw datagram, or None on timeout."""
+        """One raw datagram, or None on timeout or after stop."""
+        if self._stopped:
+            return None
         try:
             data, _peer = self._sock.recvfrom(MAX_DATAGRAM)
-            return data
         except socket.timeout:
             return None
+        except OSError:
+            # stop() closed the socket under us — the expected wake-up.
+            if self._stopped:
+                return None
+            raise
+        if self._stopped:
+            # What woke us was stop()'s zero-byte wake datagram, not real
+            # traffic — it must not pollute the ingest counters.
+            return None
+        stats = self.ingest_stats
+        stats.received += 1
+        stats.bytes_in += len(data)
+        return data
 
-    def __iter__(self) -> Iterator[FlowRecord]:
-        """Yield flows until :meth:`stop` is called.
+    def __iter__(self) -> Iterator[Union[FlowBatch, FlowRecord]]:
+        """Yield decoded flows until :meth:`stop` is called.
 
-        Each socket timeout re-checks the stop flag, so a stopped source
-        terminates within ``recv_timeout`` seconds.
+        Columnar by default: one :class:`FlowBatch` per flow-carrying
+        datagram (template-only and malformed datagrams yield nothing but
+        are counted). With ``yield_records=True``, per-record
+        :class:`FlowRecord` objects come out instead — the slow-lane
+        escape hatch for object consumers.
         """
+        stats = self.ingest_stats
+        collector = self.collector
         while not self._stopped:
             datagram = self.recv_once()
             if datagram is None:
                 continue
-            yield from self.collector.ingest(datagram)
+            errors_before = collector.stats.malformed + collector.stats.unknown_version
+            if self.yield_records:
+                flows = collector.ingest(datagram)
+                stats.accepted += len(flows)
+                yield from flows
+            else:
+                batch = collector.ingest_columns(datagram)
+                if len(batch):
+                    stats.accepted += 1
+                    yield batch
+            errors_after = collector.stats.malformed + collector.stats.unknown_version
+            if errors_after > errors_before:
+                stats.malformed += 1
 
 
 def send_datagrams(datagrams, address: Tuple[str, int]) -> int:
     """Test/exporter helper: push datagrams at a collector address."""
+    host, _port = address
+    family = socket.AF_INET6 if ":" in host else socket.AF_INET
     sent = 0
-    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+    with socket.socket(family, socket.SOCK_DGRAM) as sock:
         for datagram in datagrams:
             sock.sendto(datagram, address)
             sent += 1

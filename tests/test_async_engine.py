@@ -1,0 +1,344 @@
+"""Tests for the asyncio engine: offline parity with the threaded engine,
+live loopback ingest (NetFlow over UDP + DNS over TCP), bounded-buffer
+backpressure accounting, and graceful drain-then-shutdown."""
+
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from engine_gates import gated_flows
+
+from repro.core.async_engine import (
+    AsyncBuffer,
+    AsyncEngine,
+    TcpDnsIngest,
+    UdpFlowIngest,
+)
+from repro.core.config import FlowDNSConfig
+from repro.core.engine import ThreadedEngine
+from repro.dns.rr import RRType, a_record, cname_record
+from repro.dns.stream import DnsRecord
+from repro.dns.tcp import frame_messages
+from repro.dns.wire import DnsMessage, Question, encode_message
+from repro.netflow.exporter import FlowExporter
+from repro.netflow.records import FlowRecord
+from repro.netflow.udp import send_datagrams
+
+#: The fixed "arrival time" the live DNS listener stamps messages with,
+#: chosen inside the corpus' validity window so live and offline runs
+#: store records at identical timestamps.
+_CLOCK_TS = 5.0
+
+
+def _dns_records():
+    records = [
+        DnsRecord(float(i % 40), f"svc{i % 60}.example", RRType.A, 300,
+                  f"10.0.{(i % 60) // 30}.{(i % 60) % 30 + 1}")
+        for i in range(600)
+    ]
+    records.append(DnsRecord(1.0, "svc0.example", RRType.CNAME, 600, "edge.cdn.net"))
+    records.append(DnsRecord(1.0, "edge.cdn.net", RRType.A, 60, "10.9.9.9"))
+    return records
+
+
+def _flows(matched=900, unmatched=100):
+    flows = [
+        FlowRecord(ts=float(i % 40),
+                   src_ip=f"10.0.{(i % 60) // 30}.{(i % 60) % 30 + 1}",
+                   dst_ip="100.64.0.1", bytes_=100 + i % 13)
+        for i in range(matched)
+    ]
+    flows += [
+        FlowRecord(ts=float(i % 40), src_ip="172.16.0.9",
+                   dst_ip="100.64.0.2", bytes_=37)
+        for i in range(unmatched)
+    ]
+    flows.append(FlowRecord(ts=30.0, src_ip="10.9.9.9", dst_ip="100.64.0.3", bytes_=5))
+    return flows
+
+
+def _dns_wires(count=40):
+    """Wire-format DNS messages whose records match `_wire_flows`."""
+    wires = []
+    for i in range(count):
+        msg = DnsMessage()
+        name = f"live{i}.example"
+        msg.questions.append(Question(name, RRType.A))
+        if i % 5 == 0:
+            msg.answers.append(cname_record(name, f"edge{i}.cdn.net", 600))
+            msg.answers.append(a_record(f"edge{i}.cdn.net", f"10.8.0.{i + 1}", 120))
+        else:
+            msg.answers.append(a_record(name, f"10.8.0.{i + 1}", 300))
+        wires.append(encode_message(msg))
+    return wires
+
+
+def _wire_flows(count=40, extra_unmatched=10):
+    flows = [
+        FlowRecord(ts=10.0 + i % 20, src_ip=f"10.8.0.{i % count + 1}",
+                   dst_ip="100.64.0.1", bytes_=50 + i % 7)
+        for i in range(count * 4)
+    ]
+    flows += [
+        FlowRecord(ts=12.0, src_ip="172.16.9.9", dst_ip="100.64.0.2", bytes_=11)
+        for _ in range(extra_unmatched)
+    ]
+    return flows
+
+
+def _assert_reports_equal(left, right):
+    assert left.matched_flows == right.matched_flows
+    assert left.flow_records == right.flow_records
+    assert left.dns_records == right.dns_records
+    assert left.total_bytes == right.total_bytes
+    assert left.correlated_bytes == right.correlated_bytes
+    assert left.chain_lengths == right.chain_lengths
+    assert left.overwrites == right.overwrites
+    assert left.final_map_entries == right.final_map_entries
+
+
+def _rows(sink):
+    return sorted(
+        line for line in sink.getvalue().splitlines() if not line.startswith("#")
+    )
+
+
+class TestAsyncOffline:
+    def test_offline_parity_with_threaded(self):
+        """Same corpus, same counters, same rows as the threaded engine."""
+        dns, flows = _dns_records(), _flows()
+        threaded_sink, async_sink = io.StringIO(), io.StringIO()
+        threaded = ThreadedEngine(FlowDNSConfig(), sink=threaded_sink)
+        threaded_report = threaded.run([list(dns)], [gated_flows(threaded, flows)])
+        async_report = AsyncEngine(FlowDNSConfig(), sink=async_sink).run(
+            [list(dns)], [list(flows)], dns_first=True
+        )
+        assert async_report.variant_name == "async"
+        assert async_report.flow_lane == "columnar"
+        _assert_reports_equal(async_report, threaded_report)
+        assert _rows(async_sink) == _rows(threaded_sink)
+
+    def test_datagram_and_wire_tuple_items(self):
+        """The async lanes accept the full stream-item mix."""
+        msg = DnsMessage()
+        msg.questions.append(Question("wire.example", RRType.A))
+        msg.answers.append(cname_record("wire.example", "e.cdn.net", 300))
+        msg.answers.append(a_record("e.cdn.net", "10.3.3.3", 60))
+        wire = encode_message(msg)
+        flows = [FlowRecord(ts=10.0, src_ip="10.3.3.3", dst_ip="100.64.0.1",
+                            bytes_=500)]
+        datagrams = list(FlowExporter(version=9, batch_size=10).export(flows))
+        report = AsyncEngine(FlowDNSConfig()).run(
+            [[(1.0, wire)]], [datagrams], dns_first=True
+        )
+        assert report.dns_records == 2
+        assert report.matched_flows == 1
+        assert report.chain_lengths.get(2) == 1
+
+    def test_exact_ttl_mode_runs(self):
+        report = AsyncEngine(FlowDNSConfig(exact_ttl=True)).run(
+            [_dns_records()[:10]], [_flows(matched=20, unmatched=5)],
+            dns_first=True,
+        )
+        assert report.flow_records == 26
+
+    def test_empty_run_terminates(self):
+        report = AsyncEngine(FlowDNSConfig()).run([[]], [[]])
+        assert report.flow_records == 0
+        assert report.dns_records == 0
+        assert report.overall_loss_rate == 0.0
+
+
+class TestAsyncLiveLoopback:
+    def _run_live(self, config, dns_wires, flow_datagrams, expected_dns_records,
+                  expected_flows, sink=None, flow_capacity=None):
+        """Drive a live AsyncEngine over loopback sockets from this thread."""
+        dns_ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        flow_ingest = UdpFlowIngest(capacity=flow_capacity)
+        engine = AsyncEngine(config, sink=sink)
+        result = {}
+
+        def runner():
+            result["report"] = engine.run([dns_ingest], [flow_ingest])
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        dns_addr = dns_ingest.wait_ready()
+        flow_addr = flow_ingest.wait_ready()
+
+        # Phase 1: all DNS over one TCP connection, in framed chunks cut
+        # at awkward boundaries; wait until the fill lane stored them.
+        stream = frame_messages(dns_wires)
+        with socket.create_connection(dns_addr, timeout=5.0) as conn:
+            for i in range(0, len(stream), 777):
+                conn.sendall(stream[i : i + 777])
+        deadline = time.monotonic() + 20.0
+        while engine.dns_records_seen < expected_dns_records:
+            assert time.monotonic() < deadline, (
+                f"DNS ingest stalled at {engine.dns_records_seen}"
+            )
+            time.sleep(0.01)
+
+        # Phase 2: the NetFlow datagrams, lightly paced so loopback UDP
+        # does not overrun the kernel buffer.
+        for datagram in flow_datagrams:
+            send_datagrams([datagram], flow_addr)
+            time.sleep(0.001)
+        deadline = time.monotonic() + 20.0
+        while engine.flows_seen < expected_flows:
+            assert time.monotonic() < deadline, (
+                f"flow ingest stalled at {engine.flows_seen}"
+            )
+            time.sleep(0.01)
+
+        engine.request_stop()
+        thread.join(timeout=20.0)
+        assert not thread.is_alive(), "async engine did not shut down"
+        return result["report"], dns_ingest, flow_ingest
+
+    def test_loopback_ingest_parity_with_threaded(self):
+        """NetFlow-over-UDP + DNS-over-TCP through real loopback sockets
+        produces the same report and rows as the threaded engine fed the
+        identical corpus directly."""
+        wires = _dns_wires()
+        flows = _wire_flows()
+        datagrams = list(FlowExporter(version=9, batch_size=24).export(flows))
+        # Every message carries one A record; every fifth also a CNAME.
+        expected_dns = len(wires) + len(wires) // 5
+        live_sink = io.StringIO()
+        report, dns_ingest, flow_ingest = self._run_live(
+            FlowDNSConfig(), wires, datagrams,
+            expected_dns_records=expected_dns,
+            expected_flows=len(flows),
+            sink=live_sink,
+        )
+
+        threaded_sink = io.StringIO()
+        threaded = ThreadedEngine(FlowDNSConfig(), sink=threaded_sink)
+        threaded_report = threaded.run(
+            [[(_CLOCK_TS, w) for w in wires]],
+            [gated_flows(threaded, list(datagrams))],
+        )
+        _assert_reports_equal(report, threaded_report)
+        assert _rows(live_sink) == _rows(threaded_sink)
+
+        # Live ingest counters surfaced in the report.
+        assert report.ingest[dns_ingest.ingest_stats.name].received == len(wires)
+        udp_stats = report.ingest[flow_ingest.ingest_stats.name]
+        assert udp_stats.received == len(datagrams)
+        assert udp_stats.dropped == 0
+        assert report.overall_loss_rate == 0.0
+
+    def test_stop_burst_race_loses_nothing_accepted(self):
+        """Messages sent right before request_stop must either be dropped
+        (counted) or fully processed — never accepted-then-lost. The
+        listener awaits its connection handlers before the fill buffer
+        closes, so every accepted message reaches storage."""
+        wires = _dns_wires(count=30)  # one A record per message... plus CNAMEs
+        wires = [w for i, w in enumerate(wires) if i % 5]  # A-only messages
+        dns_ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        engine = AsyncEngine(FlowDNSConfig())
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(report=engine.run([dns_ingest], [])),
+            daemon=True,
+        )
+        thread.start()
+        dns_addr = dns_ingest.wait_ready()
+        with socket.create_connection(dns_addr, timeout=5.0) as conn:
+            conn.sendall(frame_messages(wires))
+            # Stop immediately: no waiting for the fill lane to catch up.
+            engine.request_stop()
+        thread.join(timeout=20.0)
+        assert not thread.is_alive()
+        stats = dns_ingest.ingest_stats
+        report = result["report"]
+        assert stats.accepted == report.dns_records
+        assert stats.received == stats.accepted + stats.dropped
+
+    def test_graceful_drain_on_stop(self):
+        """request_stop drains buffered work before reporting: every
+        ingested datagram's flows are correlated, none abandoned."""
+        flows = _wire_flows(count=10, extra_unmatched=0)
+        datagrams = list(FlowExporter(version=5, batch_size=20).export(flows))
+        report, _dns, flow_ingest = self._run_live(
+            FlowDNSConfig(), [], datagrams,
+            expected_dns_records=0,
+            expected_flows=len(flows),
+        )
+        assert report.flow_records == len(flows)
+        assert flow_ingest.ingest_stats.accepted == len(datagrams)
+
+
+class TestBackpressure:
+    def test_udp_overflow_drops_are_counted(self):
+        """A full bounded ingest buffer drops whole batches and counts
+        them — deterministic, no event loop involved."""
+        ingest = UdpFlowIngest(capacity=2)
+        buffer = AsyncBuffer(2, name="netflow[0]")
+        ingest.connect_buffer(buffer)
+        flows = _wire_flows(count=5, extra_unmatched=0)
+        datagrams = list(FlowExporter(version=5, batch_size=4).export(flows))
+        assert len(datagrams) >= 5
+        for datagram in datagrams:
+            ingest.on_datagram(datagram)
+        stats = ingest.ingest_stats
+        assert stats.received == len(datagrams)
+        assert stats.accepted == 2
+        assert stats.dropped == len(datagrams) - 2
+        assert stats.loss_rate == pytest.approx(stats.dropped / stats.received)
+        assert buffer.stats.dropped == stats.dropped
+
+    def test_tcp_overflow_drops_are_counted(self):
+        ingest = TcpDnsIngest(capacity=3, clock=lambda: 1.0)
+        buffer = AsyncBuffer(3, name="dns[0]")
+        ingest.connect_buffer(buffer)
+        from repro.dns.tcp import TcpFrameDecoder
+
+        decoder = TcpFrameDecoder()
+        wires = _dns_wires(count=8)
+        assert ingest.feed_chunk(decoder, frame_messages(wires))
+        stats = ingest.ingest_stats
+        assert stats.received == 8
+        assert stats.accepted == 3
+        assert stats.dropped == 5
+
+    def test_tcp_corrupt_stream_detected(self):
+        """An oversized frame claim (vs the configured cap) is the
+        corruption path: connection dropped, counted, not raised."""
+        ingest = TcpDnsIngest(capacity=8, max_message_size=64)
+        ingest.connect_buffer(AsyncBuffer(8, name="dns[0]"))
+        from repro.dns.tcp import TcpFrameDecoder
+
+        decoder = TcpFrameDecoder(max_message_size=64)
+        assert ingest.feed_chunk(decoder, b"\xff\xff garbage") is False
+        assert ingest.ingest_stats.malformed == 1
+
+    def test_ingest_stats_surfaced_by_threaded_and_sharded(self):
+        """Any source exposing ingest_stats lands in EngineReport.ingest
+        for the thread- and process-based engines too."""
+        from repro.core.metrics import IngestStats
+        from repro.core.sharded import ShardedEngine
+
+        class StatsSource:
+            def __init__(self, name, items):
+                self.ingest_stats = IngestStats(name=name, received=len(items))
+                self._items = items
+
+            def __iter__(self):
+                return iter(self._items)
+
+        flows = [FlowRecord(ts=1.0, src_ip="10.0.0.1", dst_ip="100.64.0.1",
+                            bytes_=10)]
+        source = StatsSource("udp[test]", flows)
+        threaded = ThreadedEngine(FlowDNSConfig())
+        report = threaded.run([[]], [source])
+        assert report.ingest["udp[test]"].received == 1
+
+        source2 = StatsSource("udp[test2]", list(flows))
+        sharded = ShardedEngine(FlowDNSConfig(), num_shards=1)
+        report2 = sharded.run([[]], [source2], dns_first=True)
+        assert report2.ingest["udp[test2]"].received == 1

@@ -64,11 +64,42 @@ class TestParser:
             ["ablation", "--hours", "1"],
             ["analyze", "out.tsv"],
             ["mapping-template"],
+            ["serve", "--duration", "1", "--flow-port", "0", "--dns-port", "0"],
         ],
     )
     def test_known_subcommands_parse(self, argv):
         args = build_parser().parse_args(argv)
         assert callable(args.func)
+
+    def test_serve_bind_conflict_fails_fast(self, capsys):
+        """A port already in use must exit with an error, not hang the
+        address-poll loop forever."""
+        import socket
+
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main([
+                "serve", "--duration", "5", "--flow-port", "0",
+                "--dns-port", str(port),
+            ])
+        assert rc == 2
+        assert "failed to bind" in capsys.readouterr().err
+
+    def test_serve_bounded_duration_runs(self, tmp_path, capsys):
+        """`flowdns serve` binds ephemeral sockets, serves for the bounded
+        duration, drains, and reports."""
+        output = tmp_path / "live.tsv"
+        rc = main([
+            "serve", "--duration", "0.3", "--flow-port", "0",
+            "--dns-port", "0", "--output", str(output),
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "NetFlow/IPFIX (UDP)" in err
+        assert "flows correlated" in err
+        assert output.read_text().startswith("#")
 
 
 class TestMappingTemplate:
@@ -112,7 +143,7 @@ class TestCorrelate:
         assert rc == 0
         assert "a.example" in output.read_text()
 
-    @pytest.mark.parametrize("engine", ["threaded", "sharded"])
+    @pytest.mark.parametrize("engine", ["threaded", "sharded", "async"])
     def test_correlate_live_engines(self, mapping_file, csv_inputs, tmp_path,
                                     capsys, engine):
         dns, flows = csv_inputs

@@ -160,13 +160,15 @@ class TestShardedEngine:
 
 class TestEngineRegistry:
     def test_registry_names(self):
-        assert set(ENGINE_VARIANTS) == {"simulation", "threaded", "sharded"}
+        assert set(ENGINE_VARIANTS) == {"simulation", "threaded", "sharded", "async"}
 
     def test_engine_for_instantiates(self):
+        from repro.core.async_engine import AsyncEngine
         from repro.core.simulation import SimulationEngine
 
         assert isinstance(engine_for("simulation"), SimulationEngine)
         assert isinstance(engine_for("threaded"), ThreadedEngine)
+        assert isinstance(engine_for("async"), AsyncEngine)
         sharded = engine_for("sharded", num_shards=2)
         assert isinstance(sharded, ShardedEngine)
         assert sharded.num_shards == 2

@@ -1,9 +1,17 @@
 """Tests for DNS-over-TCP framing (the paper's resolver→collector path)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dns.rr import RRType, a_record
-from repro.dns.tcp import TcpFrameDecoder, frame_message, frame_messages, iter_framed
+from repro.dns.tcp import (
+    MAX_MESSAGE_SIZE,
+    TcpFrameDecoder,
+    frame_message,
+    frame_messages,
+    iter_framed,
+)
 from repro.dns.wire import DnsMessage, Question, decode_message, encode_message
 from repro.util.errors import ParseError
 
@@ -73,6 +81,104 @@ class TestDecoder:
         decoder = TcpFrameDecoder()
         decoder.feed(frame_message(_wire()))
         decoder.close()
+
+
+class TestDecoderProperty:
+    """Randomized chunk boundaries: reassembly must be exact whatever the
+    transport does — mid-length-prefix splits, 1-byte feeds, anything."""
+
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=120), min_size=1, max_size=12),
+        cuts=st.lists(st.integers(min_value=0, max_value=2 ** 16), max_size=24),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_split_offsets(self, payloads, cuts):
+        stream = frame_messages(payloads)
+        offsets = sorted({min(c, len(stream)) for c in cuts} | {0, len(stream)})
+        decoder = TcpFrameDecoder()
+        out = []
+        for start, end in zip(offsets, offsets[1:]):
+            out.extend(decoder.feed(stream[start:end]))
+        decoder.close()
+        # Zero-length frames are legal but yield no message.
+        assert out == [p for p in payloads if p]
+        assert decoder.messages_out == len(out)
+        assert decoder.pending_bytes == 0
+        assert decoder.bytes_in == len(stream)
+
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_one_byte_feeds(self, payloads):
+        stream = frame_messages(payloads)
+        decoder = TcpFrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        decoder.close()
+        assert out == payloads
+
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=6),
+        trunc=st.integers(min_value=1, max_value=2 ** 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_tail_always_detected(self, payloads, trunc):
+        stream = frame_messages(payloads)
+        # Cut strictly inside the final frame (a cut on a frame boundary
+        # is just a shorter, *valid* stream).
+        last_frame = 2 + len(payloads[-1])
+        trunc = 1 + (trunc - 1) % (last_frame - 1)
+        decoder = TcpFrameDecoder()
+        decoder.feed(stream[: len(stream) - trunc])
+        with pytest.raises(ParseError):
+            decoder.close()
+
+    @given(
+        cap=st.integers(min_value=1, max_value=512),
+        over=st.integers(min_value=1, max_value=1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_corruption_cap_raises(self, cap, over):
+        """A frame claiming more than max_message_size bytes is stream
+        corruption, raised as ParseError from feed()."""
+        claimed = min(cap + over, MAX_MESSAGE_SIZE)
+        if claimed <= cap:
+            return
+        decoder = TcpFrameDecoder(max_message_size=cap)
+        with pytest.raises(ParseError, match="corrupt"):
+            decoder.feed(claimed.to_bytes(2, "big"))
+
+    def test_valid_messages_before_corruption_survive(self):
+        """A chunk holding [valid frame][oversized prefix] must hand back
+        the valid message — corruption is reported on the *next* feed or
+        on close, never by discarding already-framed messages."""
+        decoder = TcpFrameDecoder(max_message_size=16)
+        good = b"hello"
+        out = decoder.feed(frame_message(good) + (999).to_bytes(2, "big"))
+        assert out == [good]
+        assert decoder.messages_out == 1
+        with pytest.raises(ParseError, match="corrupt"):
+            decoder.feed(b"more")
+        with pytest.raises(ParseError, match="corrupt"):
+            decoder.close()
+
+    def test_cap_boundary_accepts_exact_size(self):
+        decoder = TcpFrameDecoder(max_message_size=8)
+        payload = b"x" * 8
+        assert decoder.feed(frame_message(payload)) == [payload]
+
+    def test_default_cap_is_unreachable_by_wire_prefix(self):
+        """The 16-bit length prefix cannot exceed the default cap, so the
+        default decoder never rejects a legal stream."""
+        decoder = TcpFrameDecoder()
+        payload = b"y" * MAX_MESSAGE_SIZE
+        assert decoder.feed(frame_message(payload)) == [payload]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ParseError):
+            TcpFrameDecoder(max_message_size=0)
+        with pytest.raises(ParseError):
+            TcpFrameDecoder(max_message_size=MAX_MESSAGE_SIZE + 1)
 
 
 class TestIterFramed:

@@ -1,9 +1,13 @@
 """Tests for the UDP flow source (loopback sockets)."""
 
+import socket
 import threading
+import time
+
+import pytest
 
 from repro.netflow.exporter import FlowExporter
-from repro.netflow.records import FlowRecord
+from repro.netflow.records import FlowBatch, FlowRecord
 from repro.netflow.udp import UdpFlowSource, send_datagrams
 
 
@@ -15,8 +19,20 @@ def _flows(n):
     ]
 
 
+def _collect_flows(source, expected, received):
+    """Drain ``source`` until ``expected`` flows arrived, then stop it."""
+    for item in source:
+        if isinstance(item, FlowBatch):
+            received.extend(item.record(i) for i in range(len(item)))
+        else:
+            received.append(item)
+        if len(received) >= expected:
+            source.stop()
+
+
 class TestUdpFlowSource:
-    def test_receives_and_decodes_datagrams(self):
+    def test_receives_and_decodes_columnar_batches(self):
+        """The default lane yields FlowBatch items, one per data datagram."""
         flows = _flows(12)
         datagrams = list(FlowExporter(version=9, batch_size=6).export(flows))
         with UdpFlowSource() as source:
@@ -24,10 +40,13 @@ class TestUdpFlowSource:
                 target=send_datagrams, args=(datagrams, source.address)
             )
             received = []
+            batches = []
 
             def consume():
-                for flow in source:
-                    received.append(flow)
+                for batch in source:
+                    assert isinstance(batch, FlowBatch)
+                    batches.append(batch)
+                    received.extend(batch.record(i) for i in range(len(batch)))
                     if len(received) == len(flows):
                         source.stop()
 
@@ -37,8 +56,30 @@ class TestUdpFlowSource:
             sender.join(timeout=5.0)
             consumer.join(timeout=5.0)
             assert not consumer.is_alive()
+            stats = source.ingest_stats
         assert len(received) == 12
+        assert len(batches) == 2  # template datagram yields nothing
         assert {str(f.src_ip) for f in received} == {str(f.src_ip) for f in flows}
+        assert stats.received == len(datagrams)
+        assert stats.accepted == 2
+        assert stats.bytes_in == sum(len(d) for d in datagrams)
+
+    def test_yield_records_escape_hatch(self):
+        """yield_records=True restores per-record object iteration."""
+        flows = _flows(5)
+        datagrams = list(FlowExporter(version=5, batch_size=5).export(flows))
+        with UdpFlowSource(yield_records=True) as source:
+            send_datagrams(datagrams, source.address)
+            received = []
+            consumer = threading.Thread(
+                target=_collect_flows, args=(source, len(flows), received)
+            )
+            consumer.start()
+            consumer.join(timeout=5.0)
+            assert not consumer.is_alive()
+        assert all(isinstance(f, FlowRecord) for f in received)
+        assert [str(f.src_ip) for f in received] == [str(f.src_ip) for f in flows]
+        assert source.ingest_stats.accepted == 5
 
     def test_garbage_datagrams_counted_not_fatal(self):
         with UdpFlowSource() as source:
@@ -47,6 +88,7 @@ class TestUdpFlowSource:
             assert datagram is not None
             assert source.collector.ingest(datagram) == []
             assert source.collector.stats.unknown_version + source.collector.stats.malformed == 1
+            assert source.ingest_stats.received == 1
 
     def test_recv_once_times_out(self):
         with UdpFlowSource(recv_timeout=0.05) as source:
@@ -66,8 +108,85 @@ class TestUdpFlowSource:
             assert not t.is_alive()
             assert collected == []
 
+    def test_stop_wakes_blocked_recv_immediately(self):
+        """stop() must close the socket and wake recvfrom, not wait out
+        recv_timeout (regression: the old stop() only set a flag, so a
+        blocked iterator lingered for up to recv_timeout seconds)."""
+        source = UdpFlowSource(recv_timeout=30.0)
+        consumer = threading.Thread(target=lambda: list(source))
+        consumer.start()
+        time.sleep(0.05)  # let the consumer block in recvfrom
+        start = time.monotonic()
+        source.stop()
+        consumer.join(timeout=5.0)
+        elapsed = time.monotonic() - start
+        assert not consumer.is_alive()
+        assert elapsed < 5.0  # far below the 30s recv_timeout
+        # The wake datagram is plumbing, not traffic: counters stay clean.
+        assert source.ingest_stats.received == 0
+        assert source.ingest_stats.malformed == 0
+
+    def test_double_stop_and_iterate_after_stop_are_safe(self):
+        source = UdpFlowSource()
+        address = source.address
+        source.stop()
+        source.stop()  # idempotent
+        assert list(source) == []  # iterating a stopped source yields nothing
+        assert source.recv_once() is None
+        assert source.address == address  # address survives the close
+        source.close()  # close after stop is also safe
+
     def test_ephemeral_port_assigned(self):
         with UdpFlowSource() as source:
             host, port = source.address
             assert host == "127.0.0.1"
             assert port > 0
+
+    def test_ipv6_bind_and_receive(self):
+        try:
+            source = UdpFlowSource(bind_addr=("::1", 0))
+        except OSError:
+            pytest.skip("IPv6 loopback unavailable")
+        with source:
+            host, port = source.address
+            assert host == "::1"
+            flows = _flows(3)
+            datagrams = list(FlowExporter(version=9, batch_size=3).export(flows))
+            send_datagrams(datagrams, source.address)
+            received = []
+            consumer = threading.Thread(
+                target=_collect_flows, args=(source, len(flows), received)
+            )
+            consumer.start()
+            consumer.join(timeout=5.0)
+            assert not consumer.is_alive()
+        assert len(received) == 3
+
+    def test_dual_stack_wildcard_bind(self):
+        try:
+            source = UdpFlowSource(bind_addr=("::", 0))
+        except OSError:
+            pytest.skip("IPv6 wildcard unavailable")
+        with source:
+            port = source.address[1]
+            # An IPv4 sender reaches the dual-stack socket via loopback.
+            flows = _flows(2)
+            datagrams = list(FlowExporter(version=5, batch_size=2).export(flows))
+            try:
+                send_datagrams(datagrams, ("127.0.0.1", port))
+            except OSError:
+                pytest.skip("dual-stack v4-mapped delivery unavailable")
+            received = []
+            consumer = threading.Thread(
+                target=_collect_flows, args=(source, len(flows), received)
+            )
+            consumer.start()
+            consumer.join(timeout=5.0)
+            source.stop()
+            consumer.join(timeout=1.0)
+            assert not consumer.is_alive()
+        assert len(received) == 2
+
+    def test_bad_bind_address_raises(self):
+        with pytest.raises((OSError, socket.gaierror)):
+            UdpFlowSource(bind_addr=("definitely-not-a-host.invalid", 0))

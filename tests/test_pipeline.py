@@ -1,0 +1,186 @@
+"""Unit tests for the shared pipeline runtime (repro.core.pipeline).
+
+The engines exercise the lanes end-to-end (and the parity suites pin
+them equal); these tests cover the runtime's pieces directly — item
+normalisation, exact-TTL fill semantics, the drain loop, summary
+merging, and ingest-stat collection.
+"""
+
+import pytest
+
+from repro.core.config import FlowDNSConfig
+from repro.core.fillup import FillUpProcessor
+from repro.core.lookup import LookUpProcessor
+from repro.core.metrics import EngineReport, IngestStats
+from repro.core.pipeline import (
+    FillLane,
+    LookupLane,
+    buffer_loss_rate,
+    collect_ingest,
+    dns_item_records,
+    drain_buffer,
+    empty_summary,
+    flow_items_to_batch,
+    merge_summaries,
+    stack_summary,
+)
+from repro.core.storage_adapter import DnsStorage
+from repro.dns.rr import RRType, a_record
+from repro.dns.stream import DnsRecord
+from repro.dns.wire import DnsMessage, Question, encode_message
+from repro.netflow.collector import FlowCollector
+from repro.netflow.exporter import FlowExporter
+from repro.netflow.records import FlowBatch, FlowRecord
+from repro.streams.buffer import BoundedBuffer
+
+
+def _a(ts, name, ip, ttl=300):
+    return DnsRecord(ts, name, RRType.A, ttl, ip)
+
+
+class TestNormalisation:
+    def test_dns_item_forms(self):
+        processor = FillUpProcessor(storage=None)
+        record = _a(1.0, "x.example", "10.0.0.1")
+        assert dns_item_records(record, processor) == (record,)
+
+        msg = DnsMessage()
+        msg.questions.append(Question("w.example", RRType.A))
+        msg.answers.append(a_record("w.example", "10.0.0.2", 60))
+        wire = encode_message(msg)
+        records = dns_item_records((2.0, wire), processor)
+        assert [r.query for r in records] == ["w.example"]
+
+        assert dns_item_records("garbage", processor) == ()
+        assert dns_item_records((1.0, 2.0, 3.0), processor) == ()
+
+    def test_flow_item_mix_accumulates(self):
+        flows = [
+            FlowRecord(ts=1.0, src_ip="10.0.0.1", dst_ip="100.64.0.1", bytes_=10),
+            FlowRecord(ts=2.0, src_ip="10.0.0.2", dst_ip="100.64.0.2", bytes_=20),
+        ]
+        datagrams = list(FlowExporter(version=5, batch_size=2).export(flows))
+        premade = FlowBatch()
+        premade.append_record(flows[0])
+        items = [flows[1], premade, *datagrams, object()]  # unknown item ignored
+        batch = flow_items_to_batch(items, FlowCollector())
+        assert len(batch) == 4  # 1 record + 1 batched + 2 decoded
+        assert batch.src_ip_text.count("10.0.0.1") == 2
+
+
+class TestFillLane:
+    def test_exact_ttl_processes_per_record_with_sweeps(self):
+        config = FlowDNSConfig(exact_ttl=True)
+        storage = DnsStorage(config)
+        processor = FillUpProcessor(storage)
+        lane = FillLane(processor, storage, exact_ttl=True)
+        lane.process_items([
+            _a(0.0, "a.example", "10.0.0.1", ttl=30),
+            # 200s later: the first record's TTL has expired and the
+            # per-record tick sweeps it out — batched fill would not.
+            _a(200.0, "b.example", "10.0.0.2", ttl=300),
+        ])
+        assert processor.stats.records_stored == 2
+        assert storage.total_entries() == 1
+
+    def test_batched_fill_counts_match_per_record(self):
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        processor = FillUpProcessor(storage)
+        lane = FillLane(processor, storage)
+        records = [_a(float(i), f"n{i}.example", f"10.0.0.{i + 1}") for i in range(5)]
+        lane.process_items(records + [DnsRecord(9.0, "t.example", RRType.TXT, 60, "x")])
+        assert processor.stats.records_in == 6
+        assert processor.stats.records_stored == 5
+        assert processor.stats.records_skipped == 1
+
+
+class TestLookupLane:
+    def test_correlates_and_skips_empty(self):
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        FillUpProcessor(storage).process(_a(1.0, "svc.example", "10.0.0.1"))
+        lane = LookupLane(LookUpProcessor(storage, config))
+        assert lane.correlate_items([]) is None
+        flow = FlowRecord(ts=2.0, src_ip="10.0.0.1", dst_ip="100.64.0.1", bytes_=7)
+        correlated = lane.correlate_items([flow])
+        assert correlated.matched == 1
+        assert correlated.chains[0] == ("svc.example",)
+
+
+class TestDrainLoop:
+    def test_drains_until_closed(self):
+        buffer = BoundedBuffer(64, name="t")
+        for i in range(10):
+            buffer.push(i)
+        buffer.close()
+        seen = []
+        drain_buffer(buffer, batch_size=3, handle=seen.extend, timeout=0.01)
+        assert seen == list(range(10))
+
+
+class TestReportAssembly:
+    def test_merge_two_stacks(self):
+        config = FlowDNSConfig()
+        summaries = []
+        for offset in (0, 10):
+            storage = DnsStorage(config)
+            fillup = FillUpProcessor(storage)
+            lookup = LookUpProcessor(storage, config)
+            fillup.process(_a(1.0, f"s{offset}.example", f"10.0.0.{offset + 1}"))
+            lookup.correlate_batch([
+                FlowRecord(ts=2.0, src_ip=f"10.0.0.{offset + 1}",
+                           dst_ip="100.64.0.1", bytes_=100),
+            ])
+            summaries.append(stack_summary([fillup], [lookup], storage, shard_id=offset))
+        report = merge_summaries(summaries, variant_name="x")
+        assert report.flow_records == 2
+        assert report.matched_flows == 2
+        assert report.dns_records == 2
+        assert report.total_bytes == 200
+        assert report.chain_lengths == {1: 2}
+        assert report.final_map_entries == 2
+
+    def test_dns_override_and_broadcast_overwrites(self):
+        base = empty_summary(0, None)
+        base.update(records_in=5, overwrites=3)
+        other = empty_summary(1, None)
+        other.update(records_in=5, overwrites=3)
+        report = merge_summaries(
+            [base, other], variant_name="x",
+            dns_records=5, broadcast_overwrites=True,
+        )
+        assert report.dns_records == 5  # router-side count, not 10
+        assert report.overwrites == 3  # max, not sum
+
+    def test_empty_summary_shape_matches_stack_summary(self):
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        real = stack_summary(
+            [FillUpProcessor(storage)], [LookUpProcessor(storage, config)], storage
+        )
+        assert set(empty_summary(0, "boom")) == set(real)
+
+    def test_buffer_loss_rate(self):
+        buffer = BoundedBuffer(2, name="small")
+        for i in range(5):
+            buffer.push(i)
+        assert buffer_loss_rate([buffer]) == pytest.approx(3 / 5)
+        assert buffer_loss_rate([]) == 0.0
+
+
+class TestCollectIngest:
+    def test_collects_and_disambiguates(self):
+        class Source:
+            def __init__(self, stats):
+                self.ingest_stats = stats
+
+        report = EngineReport()
+        collect_ingest(report, [
+            Source(IngestStats(name="udp[a]", received=1)),
+            Source(IngestStats(name="udp[a]", received=2)),  # name collision
+            object(),  # no stats: ignored
+        ])
+        assert report.ingest["udp[a]"].received == 1
+        assert len(report.ingest) == 2
+        assert sum(s.received for s in report.ingest.values()) == 3
