@@ -11,7 +11,13 @@ Subcommands:
   configuration file" feature;
 * ``flowdns serve`` — the live service: bind real sockets (NetFlow/IPFIX
   over UDP, length-framed DNS over TCP) and correlate as traffic
-  arrives, via the asyncio engine;
+  arrives, via the asyncio engine (``--capture`` tees the wire bytes
+  into a replayable capture file);
+* ``flowdns capture`` — produce a capture file: either record live
+  sockets for a bounded duration, or synthesize a scenario from the
+  library in :mod:`repro.replay.scenarios`;
+* ``flowdns replay`` — feed a capture through any live engine
+  (threaded, sharded, async), timestamp-faithful or at max speed;
 * ``flowdns analyze`` — post-process a FlowDNS output file: per-service
   volume, RFC 1035 violations, correlation rate.
 
@@ -143,28 +149,39 @@ def _add_correlate(subparsers) -> None:
         "--shards", type=int, default=None,
         help="worker processes for --engine sharded (default: CPU count)",
     )
+    _add_fill_timeout(p)
     p.set_defaults(func=cmd_correlate)
 
 
-def _gated_flow_source(engine, flow_records, timeout=300.0):
+def _add_fill_timeout(parser) -> None:
+    from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
+
+    parser.add_argument(
+        "--fill-timeout", type=float, default=DEFAULT_FILL_TIMEOUT,
+        help="seconds the threaded engine's flow gate waits for the DNS "
+             "fill before correlating against a partially-filled store "
+             f"(default: {DEFAULT_FILL_TIMEOUT:.0f})",
+    )
+
+
+def _gated_flow_source(engine, flow_records, timeout, warnings_out):
     """Gate the flow source behind fill completion for the threaded engine.
 
     The threaded engine consumes its sources concurrently; offline
     correlation wants every DNS record ingested before flows are looked
     up, so the flow source blocks until the FillUp workers have drained
-    the DNS side (bounded by ``timeout`` as a hang safeguard).
+    the DNS side (bounded by ``timeout`` as a hang safeguard). A timeout
+    prints immediately *and* is collected into ``warnings_out`` so the
+    caller can attach it to the run's ``EngineReport.warnings``.
     """
-    from repro.core.engine import gated_flow_source
+    from repro.core.pipeline import gated_with_warning
 
     def warn():
-        print(
-            f"warning: DNS fill still running after {timeout:.0f}s; "
-            "correlating against a partially-filled store "
-            "(match counts may be low)",
-            file=sys.stderr,
-        )
+        print(f"warning: {warnings_out[-1]}", file=sys.stderr)
 
-    return gated_flow_source(engine, flow_records, timeout=timeout, on_timeout=warn)
+    return gated_with_warning(
+        engine, flow_records, timeout, warnings_out, on_timeout=warn
+    )
 
 
 def _open_rows(path):
@@ -191,6 +208,7 @@ def cmd_correlate(args) -> int:
         config = FlowDNSConfig(num_split=args.num_split)
         dns_records = dns_adapter.adapt_many(dns_rows)
         flow_records = flow_adapter.adapt_many(flow_rows)
+        gate_warnings = []
         if args.engine == "simulation":
             engine = SimulationEngine(config, sink=sink)
             report = engine.run(dns_records, flow_records)
@@ -204,8 +222,11 @@ def cmd_correlate(args) -> int:
             report = engine.run([dns_records], [flow_records], dns_first=True)
         else:
             engine = engine_for(args.engine, config=config, sink=sink)
-            flow_source = _gated_flow_source(engine, flow_records)
+            flow_source = _gated_flow_source(
+                engine, flow_records, args.fill_timeout, gate_warnings
+            )
             report = engine.run([dns_records], [flow_source])
+        report.warnings.extend(gate_warnings)
     finally:
         dns_handle.close()
         flow_handle.close()
@@ -222,39 +243,113 @@ def cmd_correlate(args) -> int:
     return 0
 
 
+#: Shared socket-session defaults, applied by `_apply_live_defaults` —
+#: argparse keeps None so `flowdns capture --scenario` can tell an
+#: explicitly-passed live flag (rejected) from an omitted one.
+_LIVE_DEFAULTS = {"host": "127.0.0.1", "flow_port": 2055, "dns_port": 8053}
+
+
+def _add_live_options(p, default_duration: float) -> None:
+    """The socket-session options `serve` and live `capture` share."""
+    p.add_argument("--host", default=None,
+                   help=f"bind address (default: {_LIVE_DEFAULTS['host']})")
+    p.add_argument("--flow-port", type=int, default=None,
+                   help="UDP port for NetFlow/IPFIX exports "
+                        f"(default: {_LIVE_DEFAULTS['flow_port']}; 0 = ephemeral)")
+    p.add_argument("--dns-port", type=int, default=None,
+                   help="TCP port for length-framed DNS messages "
+                        f"(default: {_LIVE_DEFAULTS['dns_port']}; 0 = ephemeral)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="seconds to serve before draining "
+                        f"(default: {default_duration:g}; 0 = until Ctrl-C)")
+    p.add_argument("--num-split", type=int, default=10)
+    p.set_defaults(_default_duration=default_duration)
+
+
+def _explicit_live_flags(args) -> list:
+    """The live-session flags the user actually passed on this invocation."""
+    return [
+        flag
+        for flag, value in (
+            ("--host", args.host), ("--flow-port", args.flow_port),
+            ("--dns-port", args.dns_port), ("--duration", args.duration),
+        )
+        if value is not None
+    ]
+
+
+def _apply_live_defaults(args) -> None:
+    if args.host is None:
+        args.host = _LIVE_DEFAULTS["host"]
+    if args.flow_port is None:
+        args.flow_port = _LIVE_DEFAULTS["flow_port"]
+    if args.dns_port is None:
+        args.dns_port = _LIVE_DEFAULTS["dns_port"]
+    if args.duration is None:
+        args.duration = args._default_duration
+
+
 def _add_serve(subparsers) -> None:
     p = subparsers.add_parser(
         "serve",
         help="run the live asyncio engine over real sockets "
              "(NetFlow/IPFIX via UDP, DNS via TCP)",
     )
-    p.add_argument("--host", default="127.0.0.1", help="bind address")
-    p.add_argument("--flow-port", type=int, default=2055,
-                   help="UDP port for NetFlow/IPFIX exports (0 = ephemeral)")
-    p.add_argument("--dns-port", type=int, default=8053,
-                   help="TCP port for length-framed DNS messages (0 = ephemeral)")
-    p.add_argument("--duration", type=float, default=0.0,
-                   help="seconds to serve before draining (0 = until Ctrl-C)")
-    p.add_argument("--num-split", type=int, default=10)
+    _add_live_options(p, default_duration=0.0)
     p.add_argument("--output", default=None,
                    help="write correlation TSV to this file (default: discard)")
+    p.add_argument("--capture", default=None,
+                   help="tee every received wire unit into this capture file "
+                        "(replayable with `flowdns replay`)")
     p.set_defaults(func=cmd_serve)
 
 
-def cmd_serve(args) -> int:
+class _BindFailure(Exception):
+    """A live session's listeners could not bind their sockets."""
+
+
+class _LazyTextFile:
+    """A write-on-first-use text sink: the path is not opened (and an
+    existing file not truncated) until something is actually written, so
+    a live session that dies at bind time leaves prior contents intact.
+    The async engine writes its TSV header only after the listeners
+    bind, which is what makes this deferral effective."""
+
+    def __init__(self, path: str):
+        self._path = path
+        self._file = None
+
+    def write(self, text: str) -> int:
+        if self._file is None:
+            self._file = open(self._path, "w", encoding="utf-8")
+        return self._file.write(text)
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+
+
+def _run_live_session(args, sink, capture):
+    """Bind the live listeners, serve until stop/duration, return the report.
+
+    The one live-session implementation behind ``flowdns serve`` (sink =
+    correlation TSV, capture optional) and ``flowdns capture`` (sink
+    discarded, capture required). Raises :class:`_BindFailure` when a
+    listener's port is taken.
+    """
     import asyncio
     import signal
 
     from repro.core.async_engine import AsyncEngine, TcpDnsIngest, UdpFlowIngest
 
     config = FlowDNSConfig(num_split=args.num_split)
-    sink = open(args.output, "w", encoding="utf-8") if args.output else None
-    dns_ingest = TcpDnsIngest(host=args.host, port=args.dns_port)
-    flow_ingest = UdpFlowIngest(host=args.host, port=args.flow_port)
+    dns_ingest = TcpDnsIngest(host=args.host, port=args.dns_port, capture=capture)
+    flow_ingest = UdpFlowIngest(host=args.host, port=args.flow_port, capture=capture)
     engine = AsyncEngine(config, sink=sink)
-
-    class BindFailure(Exception):
-        pass
 
     async def serve() -> "object":
         loop = asyncio.get_running_loop()
@@ -269,7 +364,7 @@ def cmd_serve(args) -> int:
                 try:
                     return await run
                 except OSError as exc:
-                    raise BindFailure(exc) from exc
+                    raise _BindFailure(exc) from exc
             await asyncio.sleep(0.01)
         print(f"NetFlow/IPFIX (UDP): {flow_ingest.address[0]}:{flow_ingest.address[1]}",
               file=sys.stderr)
@@ -287,22 +382,194 @@ def cmd_serve(args) -> int:
             print("serving until Ctrl-C ...", file=sys.stderr)
         return await run
 
-    try:
-        report = asyncio.run(serve())
-    except BindFailure as exc:
-        print(f"failed to bind listeners: {exc}", file=sys.stderr)
-        return 2
-    finally:
-        if sink is not None:
-            sink.close()
+    return asyncio.run(serve())
+
+
+def _print_live_summary(report) -> None:
     print(f"dns records ingested : {report.dns_records:,}", file=sys.stderr)
     print(f"flows correlated     : {report.matched_flows:,}/{report.flow_records:,} "
           f"({report.correlation_rate:.1%} of bytes)", file=sys.stderr)
     for name, stats in report.ingest.items():
         print(f"  {name}: received={stats.received:,} dropped={stats.dropped:,} "
               f"malformed={stats.malformed:,}", file=sys.stderr)
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+
+def _run_live_session_cli(args, sink, capture) -> int:
+    """The shared serve/capture session lifecycle: run, summarize, and
+    apply the bind-failure contract (exit 2, capture path untouched,
+    clean zero-traffic sessions still leave a valid empty capture)."""
+    try:
+        report = _run_live_session(args, sink, capture)
+        if capture is not None:
+            capture.ensure_open()
+    except _BindFailure as exc:
+        print(f"failed to bind listeners: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if capture is not None:
+            capture.close()
+        if sink is not None:
+            sink.close()
+    _print_live_summary(report)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.replay.capture import CaptureWriter
+
+    _apply_live_defaults(args)
+    sink = _LazyTextFile(args.output) if args.output else None
+    capture = CaptureWriter(args.capture) if args.capture else None
+    rc = _run_live_session_cli(args, sink, capture)
+    if rc:
+        return rc
     if args.output:
         print(f"output written       : {args.output}", file=sys.stderr)
+    if args.capture:
+        print(f"capture written      : {args.capture} "
+              f"({capture.frames_written:,} frames)", file=sys.stderr)
+    return 0
+
+
+def _add_capture(subparsers) -> None:
+    from repro.replay.scenarios import GOLDEN_SEED, SCENARIOS
+
+    p = subparsers.add_parser(
+        "capture",
+        help="produce a capture file: record live sockets for a bounded "
+             "duration, or synthesize a scenario",
+    )
+    p.add_argument("output", help="capture file to write")
+    p.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
+                   help="synthesize this scenario instead of recording live "
+                        "sockets")
+    p.add_argument("--seed", type=int, default=GOLDEN_SEED,
+                   help="scenario seed (golden corpus uses the default)")
+    _add_live_options(p, default_duration=60.0)
+    p.set_defaults(func=cmd_capture)
+
+
+def cmd_capture(args) -> int:
+    from repro.replay.capture import CaptureWriter
+    from repro.replay.scenarios import GOLDEN_SEED, write_scenario
+
+    # The two modes take disjoint options; a silently-ignored flag means
+    # the user asked for something this run will not do. Presence is
+    # detected via the None sentinels argparse keeps for live flags.
+    if args.scenario is not None:
+        passed = _explicit_live_flags(args)
+        if passed:
+            print(f"{'/'.join(passed)} only appl"
+                  f"{'ies' if len(passed) == 1 else 'y'} to live capture; "
+                  "drop with --scenario", file=sys.stderr)
+            return 2
+        count = write_scenario(args.scenario, args.output, seed=args.seed)
+        print(f"wrote {args.output} ({count} frames, "
+              f"scenario {args.scenario!r}, seed {args.seed})", file=sys.stderr)
+        return 0
+    if args.seed != GOLDEN_SEED:
+        print("--seed only applies to --scenario synthesis", file=sys.stderr)
+        return 2
+    _apply_live_defaults(args)
+    capture = CaptureWriter(args.output)
+    rc = _run_live_session_cli(args, sink=None, capture=capture)
+    if rc:
+        return rc
+    print(f"capture written      : {args.output} "
+          f"({capture.frames_written:,} frames, "
+          f"{capture.bytes_written:,} bytes)", file=sys.stderr)
+    return 0
+
+
+def _add_replay(subparsers) -> None:
+    from repro.replay.runner import REPLAY_ENGINES
+
+    p = subparsers.add_parser(
+        "replay",
+        help="feed a capture file through a live engine",
+    )
+    p.add_argument("capture", help="capture file to replay")
+    p.add_argument("--engine", choices=REPLAY_ENGINES, default="threaded",
+                   help="engine to replay through (default: threaded)")
+    p.add_argument("--realtime", action="store_true",
+                   help="sleep out the recorded inter-arrival gaps instead "
+                        "of replaying at max speed")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="realtime pacing divisor (2.0 = twice as fast)")
+    p.add_argument("--output", default="-",
+                   help="output TSV ('-' = stdout)")
+    p.add_argument("--num-split", type=int, default=10)
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker processes for --engine sharded")
+    p.add_argument("--exact-ttl", action="store_true",
+                   help="run the Appendix A.8 exact-TTL variant")
+    _add_fill_timeout(p)
+    p.set_defaults(func=cmd_replay)
+
+
+def cmd_replay(args) -> int:
+    from repro.replay.capture import probe_capture
+    from repro.replay.runner import replay_capture
+    from repro.util.errors import ConfigError, ParseError
+
+    from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
+
+    # A silently-ignored flag means the user asked for something this
+    # run will not do — reject engine/mode mismatches outright.
+    if args.shards is not None and args.engine != "sharded":
+        print("--shards only applies to --engine sharded", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.fill_timeout != DEFAULT_FILL_TIMEOUT and args.engine != "threaded":
+        print("--fill-timeout only applies to --engine threaded (the other "
+              "engines order DNS before flows without a gate)",
+              file=sys.stderr)
+        return 2
+    if args.speed <= 0:
+        print("--speed must be positive", file=sys.stderr)
+        return 2
+    if args.speed != 1.0 and not args.realtime:
+        print("--speed only applies to --realtime pacing; pass both",
+              file=sys.stderr)
+        return 2
+    try:
+        # Validate before the output sink opens: a bad capture path must
+        # not truncate an existing results file on its way to exit 2.
+        probe_capture(args.capture)
+    except (OSError, ParseError) as exc:
+        print(f"cannot replay {args.capture}: {exc}", file=sys.stderr)
+        return 2
+    config = FlowDNSConfig(num_split=args.num_split, exact_ttl=args.exact_ttl)
+    sink = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    try:
+        report = replay_capture(
+            args.capture,
+            engine=args.engine,
+            config=config,
+            sink=sink,
+            realtime=args.realtime,
+            speed=args.speed,
+            num_shards=args.shards,
+            fill_timeout=args.fill_timeout,
+            # No immediate on_fill_timeout print: the warning lands in
+            # report.warnings and the loop below prints it exactly once.
+        )
+    except (OSError, ParseError, ConfigError) as exc:
+        print(f"cannot replay {args.capture}: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(f"replayed {args.capture} through engine={args.engine}: "
+          f"{report.matched_flows:,}/{report.flow_records:,} flows correlated "
+          f"({report.correlation_rate:.1%} of bytes), "
+          f"{report.dns_records:,} dns records", file=sys.stderr)
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     return 0
 
 
@@ -445,6 +712,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ablation(subparsers)
     _add_correlate(subparsers)
     _add_serve(subparsers)
+    _add_capture(subparsers)
+    _add_replay(subparsers)
     _add_analyze(subparsers)
     _add_figures(subparsers)
     _add_mapping_template(subparsers)

@@ -50,6 +50,7 @@ from repro.core.pipeline import (
     buffer_loss_rate,
     collect_ingest,
     merge_summaries,
+    source_failure_warning,
     stack_summary,
 )
 from repro.core.storage_adapter import DnsStorage
@@ -172,12 +173,17 @@ class UdpFlowIngest:
         capacity: Optional[int] = None,
         recv_buffer_bytes: int = 4 << 20,
         name: Optional[str] = None,
+        capture=None,
     ):
         self.host = host
         self.port = port
         self.collector = collector if collector is not None else FlowCollector()
         #: Overrides the engine's stream_buffer_capacity when set.
         self.capacity = capacity
+        #: Optional :class:`repro.replay.capture.CaptureWriter` tee: every
+        #: datagram is recorded as received, before decode — malformed
+        #: input included, so a replay reproduces those counters too.
+        self.capture = capture
         #: Requested SO_RCVBUF: export bursts land in the kernel buffer
         #: while the loop decodes, so the default is generous (the kernel
         #: clamps to its rmem_max; best-effort either way).
@@ -197,6 +203,8 @@ class UdpFlowIngest:
         stats = self.ingest_stats
         stats.received += 1
         stats.bytes_in += len(data)
+        if self.capture is not None:
+            self.capture.record_flow(data)
         collector_stats = self.collector.stats
         errors_before = collector_stats.malformed + collector_stats.unknown_version
         batch = self.collector.ingest_columns(data)
@@ -263,12 +271,18 @@ class TcpDnsIngest:
         capacity: Optional[int] = None,
         max_message_size: int = MAX_MESSAGE_SIZE,
         name: Optional[str] = None,
+        capture=None,
     ):
         self.host = host
         self.port = port
         self.clock = clock
         self.capacity = capacity
         self.max_message_size = max_message_size
+        #: Optional :class:`repro.replay.capture.CaptureWriter` tee. Each
+        #: reassembled message is recorded with the *same* arrival stamp
+        #: the fill lane gets, so a replayed capture stores records at
+        #: identical timestamps to the live session.
+        self.capture = capture
         self.ingest_stats = IngestStats(name=name or f"tcp-dns[{host}:{port}]")
         self.address: Optional[Tuple[str, int]] = None
         self._buffer: Optional[AsyncBuffer] = None
@@ -297,6 +311,8 @@ class TcpDnsIngest:
         for wire in messages:
             stats.received += 1
             stats.bytes_in += len(wire)
+            if self.capture is not None:
+                self.capture.record_dns(wire, ts=ts)
             if self._buffer.try_put((ts, wire)):
                 stats.accepted += 1
             else:
@@ -383,7 +399,11 @@ class AsyncEngine:
         self.config = config if config is not None else FlowDNSConfig()
         self.storage = DnsStorage(self.config)
         self.sink = sink if sink is not None else DiscardSink()
-        self.writer = WriteWorker(self.sink)
+        #: Created per run, *after* the live listeners bind: the first
+        #: thing a WriteWorker does is write the TSV header, and a sink
+        #: backed by a real file must stay untouched when the session
+        #: dies at bind time.
+        self.writer: Optional[WriteWorker] = None
         self._fillup_processors: List[FillUpProcessor] = []
         self._lookup_processors: List[LookUpProcessor] = []
         #: Ingress stream buffers only (the write buffer is not loss-
@@ -392,18 +412,40 @@ class AsyncEngine:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._stop_pending = False
+        #: True once any run has begun: a stop request with no loop to
+        #: deliver to latches only before the first run; afterwards it
+        #: targets a run that already ended and is dropped.
+        self._started = False
         self._fill_finite_done = False
+        #: ``(buffer_name, exception)`` per source that raised mid-pump.
+        self._source_errors: List[Tuple[str, BaseException]] = []
 
     # --- cross-thread control & observability ---------------------------------
 
     def request_stop(self) -> None:
         """Begin graceful shutdown; callable from any thread or a signal
-        handler. Live listeners stop, buffers drain, the report lands."""
+        handler, any number of times, at any point in the run's life.
+
+        Idempotent by construction: before the first run exists the
+        request is latched (``run_async`` honours it at startup, then
+        clears the latch); during a run the stop event is (re-)set,
+        which is a no-op once set; and a request arriving after a run
+        completed — or racing its completion, the loop closing between
+        the ``self._loop`` read and the threadsafe call — is dropped,
+        because a finished run needs no stopping (latching would
+        silently truncate a reused engine's next run at startup)."""
         loop = self._loop
         if loop is None or self._stop_event is None:
-            self._stop_pending = True
+            if not self._started:
+                self._stop_pending = True
             return
-        loop.call_soon_threadsafe(self._stop_event.set)
+        try:
+            loop.call_soon_threadsafe(self._stop_event.set)
+        except RuntimeError:
+            # The loop shut down under us: the run is already over, so
+            # the request is dropped — deliberately NOT latched, or a
+            # reused engine's next run would stop itself at startup.
+            pass
 
     @property
     def dns_records_seen(self) -> int:
@@ -424,7 +466,14 @@ class AsyncEngine:
     # --- scheduling policy ----------------------------------------------------
 
     async def _pump(self, source: Iterable, buffer: AsyncBuffer) -> None:
-        """Move a finite iterable into its buffer, cooperatively."""
+        """Move a finite iterable into its buffer, cooperatively.
+
+        A source that raises mid-stream (a truncated capture file, a
+        corrupt export) is recorded — the buffer still closes, everything
+        pumped before the failure still drains through its lane, and the
+        failure surfaces in :attr:`EngineReport.warnings` instead of
+        aborting the run.
+        """
         count = 0
         try:
             for item in source:
@@ -432,6 +481,8 @@ class AsyncEngine:
                 count += 1
                 if count % _PUMP_CHUNK == 0:
                     await asyncio.sleep(0)
+        except Exception as exc:
+            self._source_errors.append((buffer.name, exc))
         finally:
             buffer.close()
 
@@ -498,11 +549,25 @@ class AsyncEngine:
         """
         cfg = self.config
         loop = asyncio.get_running_loop()
-        self._loop = loop
+        # Fresh event BEFORE the loop is published: a request_stop racing
+        # this startup must never pair the new loop with a previous run's
+        # (already-set) event, which would silently lose the stop.
         self._stop_event = asyncio.Event()
+        self._loop = loop
         if self._stop_pending:
             self._stop_event.set()
+            # The latch is consumed by this run; a later run of the same
+            # engine starts fresh.
+            self._stop_pending = False
+        self._started = True
         self._fill_finite_done = False
+        self._source_errors = []
+        # Per-run state: a reused engine must not fold the previous
+        # run's processors, stored records, or writer stats into this
+        # run's report.
+        self._fillup_processors = []
+        self._lookup_processors = []
+        self.storage = DnsStorage(cfg)
 
         live_ingests = []
         lane_tasks: List[asyncio.Task] = []
@@ -555,6 +620,10 @@ class AsyncEngine:
                 loop.create_task(self._lookup_task(buffer, lane, write_buffer))
             )
 
+        # Every live listener has bound by here, so the header this
+        # writes cannot land in (or truncate) a file for a session that
+        # failed at bind time.
+        self.writer = WriteWorker(self.sink)
         write_task = loop.create_task(self._write_task(write_buffer))
 
         # Pump finite sources; optionally barrier DNS before flows.
@@ -588,7 +657,11 @@ class AsyncEngine:
         await asyncio.gather(*lane_tasks)
         write_buffer.close()
         await write_task
+        # Both cleared together: a post-run request_stop must hit the
+        # drop path, not set this run's stale (already-set) event while
+        # a future run is starting up.
         self._loop = None
+        self._stop_event = None
 
         report = self._build_report()
         collect_ingest(report, list(dns_sources) + list(flow_sources))
@@ -600,5 +673,9 @@ class AsyncEngine:
         )
         report = merge_summaries([summary], variant_name="async")
         report.overall_loss_rate = buffer_loss_rate(self._buffers)
-        report.max_write_delay = self.writer.stats.max_delay
+        report.max_write_delay = (
+            self.writer.stats.max_delay if self.writer is not None else 0.0
+        )
+        for name, exc in self._source_errors:
+            report.warnings.append(source_failure_warning(name, exc))
         return report

@@ -53,6 +53,7 @@ from repro.core.pipeline import (
     drain_buffer,
     gated_flow_source,
     merge_summaries,
+    source_failure_warning,
     stack_summary,
 )
 from repro.core.storage_adapter import DnsStorage
@@ -105,8 +106,14 @@ class ThreadedEngine:
 
     def _receiver(self, stream: RecordStream) -> None:
         """Pump a source into its bounded buffer until exhaustion."""
-        while not stream.exhausted:
-            stream.pump(1024)
+        try:
+            while not stream.exhausted:
+                stream.pump(1024)
+        except Exception:
+            # pump() has already closed the buffer and recorded the
+            # exception on stream.error; run() surfaces it as a report
+            # warning instead of letting a daemon thread die noisily.
+            pass
 
     def _fillup_worker(self, stream: RecordStream, lane: FillLane) -> None:
         """Drain the DNS buffer in batches through the shared fill lane."""
@@ -223,6 +230,11 @@ class ThreadedEngine:
             t.join()
 
         report = self._build_report()
+        for stream in self.dns_streams + self.flow_streams:
+            if stream.error is not None:
+                report.warnings.append(
+                    source_failure_warning(stream.name, stream.error)
+                )
         collect_ingest(report, list(dns_sources) + list(flow_sources))
         return report
 

@@ -263,6 +263,10 @@ class EngineReport:
     #: Per-source ingest counters for socket-fed sources (keyed by source
     #: name); empty for runs whose sources are plain iterables.
     ingest: Dict[str, IngestStats] = field(default_factory=dict)
+    #: Run-level anomalies a caller should not have to scrape stderr for
+    #: (e.g. the offline fill gate timing out and correlating against a
+    #: partially-filled store). Empty for a clean run.
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def correlation_rate(self) -> float:

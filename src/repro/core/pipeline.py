@@ -41,11 +41,16 @@ POP_TIMEOUT = 0.1
 
 # --- flow gating ------------------------------------------------------------
 
+#: Default bound on how long the flow gate waits for the DNS fill
+#: before correlating against a partial store (the CLI's --fill-timeout
+#: default, shared by offline correlate and capture replay).
+DEFAULT_FILL_TIMEOUT = 300.0
+
 
 def gated_flow_source(
     engine,
     items: Iterable,
-    timeout: float = 300.0,
+    timeout: float = DEFAULT_FILL_TIMEOUT,
     poll: float = 0.005,
     on_timeout=None,
 ) -> Iterable:
@@ -68,6 +73,37 @@ def gated_flow_source(
         yield from items
 
     return source()
+
+
+def fill_gate_warning(timeout: float) -> str:
+    """The report warning recorded when the fill gate times out."""
+    return (
+        f"DNS fill still running after {timeout:.0f}s; correlated against a "
+        f"partially-filled store (match counts may be low)"
+    )
+
+
+def gated_with_warning(
+    engine,
+    items: Iterable,
+    timeout: float,
+    warnings_out: List[str],
+    on_timeout=None,
+) -> Iterable:
+    """A fill-gated flow source whose timeout is recorded, not just printed.
+
+    ``warnings_out`` collects the warning text so the caller can attach
+    it to the run's :attr:`EngineReport.warnings` after the engine
+    returns; ``on_timeout`` (optional) additionally fires for immediate
+    operator feedback (the CLI prints to stderr).
+    """
+
+    def note():
+        warnings_out.append(fill_gate_warning(timeout))
+        if on_timeout is not None:
+            on_timeout()
+
+    return gated_flow_source(engine, items, timeout=timeout, on_timeout=note)
 
 
 # --- item normalisation -----------------------------------------------------
@@ -206,6 +242,20 @@ def drain_buffer(
                 return
             continue
         handle(items)
+
+
+def source_failure_warning(name: str, exc: BaseException) -> str:
+    """The report warning recorded when a stream source raises mid-run.
+
+    A failing source (a truncated capture file, a corrupt export) must
+    not hang the engine or silently truncate the run: its buffer closes,
+    everything received before the failure still flows through, and this
+    warning lands in :attr:`EngineReport.warnings`.
+    """
+    return (
+        f"source {name} failed mid-stream: {exc!r}; results cover only "
+        f"items received before the failure"
+    )
 
 
 # --- ingest accounting ------------------------------------------------------

@@ -45,7 +45,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TextIO
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.core.config import FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
@@ -60,6 +60,7 @@ from repro.core.pipeline import (
     empty_summary,
     extend_flow_batch,
     merge_summaries,
+    source_failure_warning,
     stack_summary,
 )
 from repro.core.storage_adapter import DnsStorage
@@ -212,18 +213,22 @@ class ShardedEngine:
         # threaded engine applies; it only ever touches its stats here.
         dns_filter = FillUpProcessor(storage=None)
         seen = 0
-        for item in source:
-            for record in dns_item_records(item, dns_filter):
-                seen += 1
-                if record.is_cname or (record.is_address and broadcast_addresses):
-                    router.broadcast(_DNS, record)
-                elif record.is_address:
-                    router.route(_DNS, ip_label(record.answer) % num_shards, record)
-                # Other record types are counted (parity with the threaded
-                # engine's records_in) but never stored — no IPC for them.
-        router.flush(_DNS)
-        with self._dns_count_lock:
-            self._dns_records_seen += seen
+        try:
+            for item in source:
+                for record in dns_item_records(item, dns_filter):
+                    seen += 1
+                    if record.is_cname or (record.is_address and broadcast_addresses):
+                        router.broadcast(_DNS, record)
+                    elif record.is_address:
+                        router.route(_DNS, ip_label(record.answer) % num_shards, record)
+                    # Other record types are counted (parity with the threaded
+                    # engine's records_in) but never stored — no IPC for them.
+        finally:
+            # Also on a raising source: records already routed must reach
+            # their shards, and the router-side count stays truthful.
+            router.flush(_DNS)
+            with self._dns_count_lock:
+                self._dns_records_seen += seen
 
     def _route_flows(self, source: Iterable, router: _BatchRouter) -> None:
         """Feed one flow source: decode to columns and shard by lookup IP.
@@ -242,26 +247,31 @@ class ShardedEngine:
         collector = FlowCollector()
         pending = [FlowBatch() for _ in range(num_shards)]
 
-        for item in source:
-            # The same item normalisation every lookup lane uses, one
-            # stream item at a time so routing interleaves with decode
-            # (whole batches route in place, no intermediate copy).
-            if isinstance(item, FlowBatch):
-                batch = item
-            else:
-                batch = FlowBatch()
-                extend_flow_batch(batch, item, collector)
-            keys = batch.src_ip_text if use_src else batch.dst_ip_text
-            for i in range(len(batch)):
-                shard = ip_label(keys[i]) % num_shards
-                accumulator = pending[shard]
-                accumulator.append_from(batch, i)
-                if len(accumulator) >= batch_size:
+        try:
+            for item in source:
+                # The same item normalisation every lookup lane uses, one
+                # stream item at a time so routing interleaves with decode
+                # (whole batches route in place, no intermediate copy).
+                if isinstance(item, FlowBatch):
+                    batch = item
+                else:
+                    batch = FlowBatch()
+                    extend_flow_batch(batch, item, collector)
+                keys = batch.src_ip_text if use_src else batch.dst_ip_text
+                for i in range(len(batch)):
+                    shard = ip_label(keys[i]) % num_shards
+                    accumulator = pending[shard]
+                    accumulator.append_from(batch, i)
+                    if len(accumulator) >= batch_size:
+                        router.send(shard, (_FLOW_COLS, accumulator.columns()))
+                        pending[shard] = FlowBatch()
+        finally:
+            # Also on a raising source: rows already routed into the
+            # accumulators were received before the failure and must
+            # reach their shards, like the other engines' buffers.
+            for shard, accumulator in enumerate(pending):
+                if len(accumulator):
                     router.send(shard, (_FLOW_COLS, accumulator.columns()))
-                    pending[shard] = FlowBatch()
-        for shard, accumulator in enumerate(pending):
-            if len(accumulator):
-                router.send(shard, (_FLOW_COLS, accumulator.columns()))
 
     def _drain_output(self, out_queue, reports: List[Dict], workers) -> None:
         """Write result rows as they arrive; stop after every shard reports.
@@ -343,12 +353,31 @@ class ShardedEngine:
         def shard_alive(shard: int) -> bool:
             return workers[shard].is_alive()
 
-        def spawn(target, source):
-            router = _BatchRouter(in_queues, batch_size, shard_alive=shard_alive)
-            return threading.Thread(target=target, args=(source, router), daemon=True)
+        source_errors: List[Tuple[str, BaseException]] = []
 
-        dns_threads = [spawn(self._route_dns, src) for src in dns_sources]
-        flow_threads = [spawn(self._route_flows, src) for src in flow_sources]
+        def spawn(target, source, name):
+            router = _BatchRouter(in_queues, batch_size, shard_alive=shard_alive)
+
+            def body():
+                try:
+                    target(source, router)
+                except Exception as exc:
+                    # A failing source ends its routing thread; whatever
+                    # was routed before the failure still correlates, and
+                    # the failure surfaces in EngineReport.warnings (same
+                    # contract as the threaded and async engines).
+                    source_errors.append((name, exc))
+
+            return threading.Thread(target=body, daemon=True)
+
+        dns_threads = [
+            spawn(self._route_dns, src, f"dns[{i}]")
+            for i, src in enumerate(dns_sources)
+        ]
+        flow_threads = [
+            spawn(self._route_flows, src, f"netflow[{i}]")
+            for i, src in enumerate(flow_sources)
+        ]
 
         reports: List[Dict] = []
         drain = threading.Thread(
@@ -400,5 +429,7 @@ class ShardedEngine:
             broadcast_overwrites=self.config.direction is FlowDirection.BOTH,
         )
         report.overall_loss_rate = 0.0
+        for name, exc in source_errors:
+            report.warnings.append(source_failure_warning(name, exc))
         collect_ingest(report, list(dns_sources) + list(flow_sources))
         return report

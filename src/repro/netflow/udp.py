@@ -74,9 +74,13 @@ class UdpFlowSource:
         collector: Optional[FlowCollector] = None,
         recv_timeout: float = 0.2,
         yield_records: bool = False,
+        capture=None,
     ):
         self.collector = collector if collector is not None else FlowCollector()
         self.yield_records = yield_records
+        #: Optional :class:`repro.replay.capture.CaptureWriter` tee: every
+        #: received datagram is recorded pre-decode (malformed included).
+        self.capture = capture
         self._sock = _bind_udp_socket(bind_addr)
         self._sock.settimeout(recv_timeout)
         # Snapshot the bound address: stop() closes the socket, and a
@@ -145,6 +149,8 @@ class UdpFlowSource:
         stats = self.ingest_stats
         stats.received += 1
         stats.bytes_in += len(data)
+        if self.capture is not None:
+            self.capture.record_flow(data)
         return data
 
     def __iter__(self) -> Iterator[Union[FlowBatch, FlowRecord]]:

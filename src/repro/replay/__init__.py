@@ -1,0 +1,73 @@
+"""Record-and-replay: durable capture artifacts for every engine.
+
+The paper's system runs against live, unrepeatable socket feeds; this
+subpackage turns a feed into a file and a file back into a feed:
+
+* :mod:`repro.replay.capture` — the length-framed on-disk format,
+  the incremental :class:`CaptureDecoder`, and the :class:`CaptureWriter`
+  tap the live ingest paths tee into;
+* :mod:`repro.replay.source` — :class:`ReplaySource`, one capture lane
+  as an engine stream source, timestamp-faithful or max speed;
+* :mod:`repro.replay.runner` — :func:`replay_capture`, one capture
+  through any live engine with deterministic DNS-before-flows ordering;
+* :mod:`repro.replay.scenarios` — the scenario library behind the
+  golden corpus (``tests/data/golden/``) and ``flowdns capture
+  --scenario``.
+"""
+
+from repro.replay.capture import (
+    LANE_DNS,
+    LANE_FLOW,
+    LANES,
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    CaptureDecoder,
+    CaptureFrame,
+    CaptureWriter,
+    encode_frame,
+    load_capture,
+    probe_capture,
+    read_capture,
+    write_capture,
+)
+from repro.replay.runner import (
+    DEFAULT_FILL_TIMEOUT,
+    REPLAY_ENGINES,
+    fill_gate_warning,
+    gated_with_warning,
+    replay_capture,
+)
+from repro.replay.scenarios import (
+    GOLDEN_SEED,
+    SCENARIOS,
+    build_scenario,
+    write_scenario,
+)
+from repro.replay.source import ReplaySource, replay_sources
+
+__all__ = [
+    "CaptureDecoder",
+    "CaptureFrame",
+    "CaptureWriter",
+    "DEFAULT_FILL_TIMEOUT",
+    "GOLDEN_SEED",
+    "LANES",
+    "LANE_DNS",
+    "LANE_FLOW",
+    "MAGIC",
+    "MAX_FRAME_PAYLOAD",
+    "REPLAY_ENGINES",
+    "ReplaySource",
+    "SCENARIOS",
+    "build_scenario",
+    "encode_frame",
+    "fill_gate_warning",
+    "gated_with_warning",
+    "load_capture",
+    "probe_capture",
+    "read_capture",
+    "replay_capture",
+    "replay_sources",
+    "write_capture",
+    "write_scenario",
+]

@@ -1,0 +1,325 @@
+"""The on-disk capture format: length-framed wire bytes per lane.
+
+A capture is a durable recording of everything a FlowDNS collector saw
+on the wire — NetFlow/IPFIX export datagrams and DNS messages — so a
+scenario that trips one engine can be replayed bit-for-bit against any
+other. The format is deliberately dumb:
+
+* an 8-byte magic header (``FDNSCAP`` + format version);
+* then frames, each ``lane (1 byte) | timestamp (8-byte IEEE double,
+  big-endian) | length (4 bytes, big-endian) | payload``.
+
+The lane tag says which stream the bytes belong to (``flow`` = one UDP
+export datagram, ``dns`` = one RFC 1035 wire-format message); the
+timestamp is the per-item capture stamp — by default from
+:class:`repro.util.clock.MonotonicClock`, so inter-arrival gaps survive
+wall-clock steps; live DNS frames instead carry the fill lane's
+wall-clock arrival stamp, because replay must store records at the
+identical timestamps the live session used — and the payload is the raw
+wire bytes, exactly as
+received, malformed input included (replay must reproduce the original
+run's malformed counters too).
+
+:class:`CaptureDecoder` mirrors :class:`repro.dns.tcp.TcpFrameDecoder`'s
+contract: incremental feeding under arbitrary chunk boundaries, corrupt
+input raises :class:`ParseError` *after* handing back every frame that
+framed cleanly, and a truncated tail surfaces on :meth:`close` without
+losing already-framed items.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.errors import ParseError
+
+#: File magic: format name + one version byte.
+MAGIC = b"FDNSCAP\x01"
+
+#: Lane tags (the public, string-typed API surface).
+LANE_FLOW = "flow"
+LANE_DNS = "dns"
+LANES = (LANE_FLOW, LANE_DNS)
+
+_LANE_TO_BYTE = {LANE_FLOW: 0x01, LANE_DNS: 0x02}
+_BYTE_TO_LANE = {v: k for k, v in _LANE_TO_BYTE.items()}
+
+#: lane tag, capture timestamp, payload length.
+_FRAME_HEAD = struct.Struct("!BdI")
+
+#: Hard ceiling on one frame's payload. Both wire formats the capture
+#: carries are bounded at 64 KiB (UDP datagram / 16-bit DNS framing), so
+#: a longer claim means the file is corrupt or not a capture at all.
+MAX_FRAME_PAYLOAD = 1 << 17
+
+
+@dataclass(frozen=True)
+class CaptureFrame:
+    """One captured wire unit: when it arrived, which lane, what bytes."""
+
+    ts: float
+    lane: str
+    payload: bytes
+
+    def __post_init__(self):
+        if self.lane not in _LANE_TO_BYTE:
+            raise ParseError(f"unknown capture lane {self.lane!r}")
+        if len(self.payload) > MAX_FRAME_PAYLOAD:
+            raise ParseError(
+                f"capture payload too large: {len(self.payload)} > {MAX_FRAME_PAYLOAD}"
+            )
+
+
+def encode_frame(frame: CaptureFrame) -> bytes:
+    """One frame's on-disk bytes (header + payload)."""
+    return _FRAME_HEAD.pack(
+        _LANE_TO_BYTE[frame.lane], frame.ts, len(frame.payload)
+    ) + frame.payload
+
+
+class CaptureDecoder:
+    """Incremental capture reader: feed chunks, collect complete frames.
+
+    The magic header is consumed first (and validated as soon as enough
+    bytes arrive); afterwards every completed frame comes out of
+    :meth:`feed` regardless of how the transport or filesystem chunked
+    the bytes. Corruption — bad magic, an unknown lane tag, an oversized
+    length claim — raises :class:`ParseError`, but frames completed
+    *before* the corrupt bytes in the same chunk are still returned and
+    the raise is deferred to the next :meth:`feed` or :meth:`close`,
+    exactly like :class:`repro.dns.tcp.TcpFrameDecoder`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._corrupt: str = ""
+        self._magic_seen = False
+        self.frames_out = 0
+        self.bytes_in = 0
+
+    def _check_magic(self) -> bool:
+        """True once the magic has been consumed; raises on mismatch."""
+        if self._magic_seen:
+            return True
+        have = min(len(self._buffer), len(MAGIC))
+        if self._buffer[:have] != MAGIC[:have]:
+            self._corrupt = f"not a FlowDNS capture (bad magic {bytes(self._buffer[:8])!r})"
+            raise ParseError(self._corrupt)
+        if len(self._buffer) < len(MAGIC):
+            return False
+        del self._buffer[: len(MAGIC)]
+        self._magic_seen = True
+        return True
+
+    def feed(self, chunk: bytes) -> List[CaptureFrame]:
+        """Add bytes; return every frame completed by them."""
+        if self._corrupt:
+            raise ParseError(self._corrupt)
+        self._buffer.extend(chunk)
+        self.bytes_in += len(chunk)
+        out: List[CaptureFrame] = []
+        if not self._check_magic():
+            return out
+        head = _FRAME_HEAD
+        while True:
+            if len(self._buffer) < head.size:
+                break
+            lane_byte, ts, length = head.unpack_from(self._buffer, 0)
+            lane = _BYTE_TO_LANE.get(lane_byte)
+            if lane is None or length > MAX_FRAME_PAYLOAD:
+                self._corrupt = (
+                    f"unknown capture lane tag 0x{lane_byte:02x}"
+                    if lane is None
+                    else f"framed length {length} exceeds cap {MAX_FRAME_PAYLOAD}"
+                ) + ": capture corrupt"
+                if out:
+                    # Hand back what framed cleanly; the caller learns of
+                    # the corruption on its next feed()/close().
+                    return out
+                raise ParseError(self._corrupt)
+            if len(self._buffer) < head.size + length:
+                break
+            payload = bytes(self._buffer[head.size : head.size + length])
+            del self._buffer[: head.size + length]
+            out.append(CaptureFrame(ts=ts, lane=lane, payload=payload))
+            self.frames_out += 1
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame (or the magic)."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Signal EOF; leftover bytes mean a truncated tail."""
+        if self._corrupt:
+            raise ParseError(self._corrupt)
+        if not self._magic_seen:
+            raise ParseError(
+                "capture truncated inside the magic header"
+                if self._buffer
+                else "empty capture: missing magic header"
+            )
+        if self._buffer:
+            raise ParseError(
+                f"capture ended mid-frame with {len(self._buffer)} bytes pending"
+            )
+
+
+class CaptureWriter:
+    """Append-only capture sink the live ingest paths tee into.
+
+    Accepts a path (opened/closed by the writer) or an already-open
+    binary file object (left open). Thread-safe: the threaded engine's
+    ``UdpFlowSource`` iterates in one thread while a DNS tap may write
+    from another, so every record takes the lock.
+
+    Items are stamped with ``clock.now()`` (default:
+    :class:`~repro.util.clock.MonotonicClock`) unless the caller passes
+    the timestamp it already stamped the item with — the live DNS ingest
+    does, so a replayed capture feeds the fill lane the *identical*
+    arrival timestamps the original session used.
+
+    A *path* target opens lazily — on the first recorded frame or an
+    explicit :meth:`ensure_open` — so a session that dies before
+    receiving anything (listeners failed to bind) exits without having
+    truncated whatever previously lived at that path. A file-object
+    target is the caller's to manage and gets the magic immediately.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[bytes]],
+        clock: Optional[Clock] = None,
+    ):
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.frames_written = 0
+        self.bytes_written = 0
+        if isinstance(target, str):
+            self._path: Optional[str] = target
+            self._file: Optional[IO[bytes]] = None
+            self._owns_file = True
+        else:
+            self._path = None
+            self._file = target
+            self._owns_file = False
+            self._file.write(MAGIC)
+            self.bytes_written += len(MAGIC)
+
+    def _open_locked(self) -> IO[bytes]:
+        if self._file is None:
+            self._file = open(self._path, "wb")
+            self._file.write(MAGIC)
+            self.bytes_written += len(MAGIC)
+        return self._file
+
+    def ensure_open(self) -> None:
+        """Materialize a path target now (a valid, possibly empty capture).
+
+        The CLI calls this after a live session ends cleanly, so a
+        zero-traffic run still leaves a well-formed file; a run that
+        failed at bind time never calls it and the path stays untouched.
+        """
+        with self._lock:
+            if not self._closed:
+                self._open_locked()
+
+    def record(self, lane: str, payload: bytes, ts: Optional[float] = None) -> None:
+        """Append one wire unit; stamps ``clock.now()`` when ``ts`` is None."""
+        frame = CaptureFrame(
+            ts=self.clock.now() if ts is None else ts,
+            lane=lane,
+            payload=bytes(payload),
+        )
+        encoded = encode_frame(frame)
+        with self._lock:
+            if self._closed:
+                return
+            self._open_locked().write(encoded)
+            self.frames_written += 1
+            self.bytes_written += len(encoded)
+
+    def record_flow(self, payload: bytes, ts: Optional[float] = None) -> None:
+        """Tee one NetFlow/IPFIX export datagram."""
+        self.record(LANE_FLOW, payload, ts=ts)
+
+    def record_dns(self, payload: bytes, ts: Optional[float] = None) -> None:
+        """Tee one DNS wire-format message."""
+        self.record(LANE_DNS, payload, ts=ts)
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed and self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._file is not None:
+                self._file.flush()
+                if self._owns_file:
+                    self._file.close()
+
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_capture(path: str, frames: Iterable[CaptureFrame]) -> int:
+    """Write a complete capture file from frames; returns the frame count."""
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        for frame in frames:
+            handle.write(encode_frame(frame))
+            count += 1
+    return count
+
+
+def probe_capture(path: str) -> None:
+    """Fail fast on a path that can never replay.
+
+    Raises :class:`OSError` (missing/unreadable file) or
+    :class:`ParseError` (not a capture) by checking only the magic header
+    — the cheap validation :func:`repro.replay.runner.replay_capture`
+    runs *before* spinning up an engine, so a bad path surfaces as a
+    clean error instead of an engine fed by a source that dies lazily.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    if head != MAGIC:
+        raise ParseError(
+            f"not a FlowDNS capture: {path!r} (bad or short magic {head!r})"
+        )
+
+
+def read_capture(path: str, chunk_size: int = 1 << 16) -> Iterator[CaptureFrame]:
+    """Stream frames off a capture file.
+
+    Frames are yielded as they complete, so a truncated file still
+    delivers everything that framed cleanly before :class:`ParseError`
+    surfaces for the damaged tail.
+    """
+    decoder = CaptureDecoder()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            yield from decoder.feed(chunk)
+    decoder.close()
+
+
+def load_capture(path: str) -> List[CaptureFrame]:
+    """Read a whole capture file into memory."""
+    return list(read_capture(path))

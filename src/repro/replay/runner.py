@@ -1,0 +1,90 @@
+"""Run a capture through any live engine, deterministically.
+
+One entry point — :func:`replay_capture` — hides the per-engine ordering
+policy that makes offline replay reproducible:
+
+* ``threaded`` consumes its sources concurrently, so the flow lane is
+  gated behind fill completion (:func:`repro.core.pipeline.gated_flow_source`);
+  a gate timeout lands in :attr:`EngineReport.warnings` instead of being
+  lost to stderr;
+* ``sharded`` and ``async`` take ``dns_first=True`` (per-shard FIFO
+  queues / the async fill barrier give the same hard ordering).
+
+With identical ordering and identical wire bytes, every engine must
+produce identical output rows and merged report stats — that is the
+contract the differential harness (``tests/test_replay_differential.py``)
+pins on the golden corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO
+
+from repro.core.config import FlowDNSConfig
+from repro.core.metrics import EngineReport
+from repro.core.pipeline import (  # noqa: F401 - re-exported replay API
+    DEFAULT_FILL_TIMEOUT,
+    fill_gate_warning,
+    gated_with_warning,
+)
+from repro.core.variants import engine_for
+from repro.replay.capture import probe_capture
+from repro.replay.source import CaptureLike, replay_sources
+from repro.util.errors import ConfigError
+
+#: Engines a capture can be replayed through (the live trio; the
+#: simulation engine consumes record objects, not wire bytes).
+REPLAY_ENGINES = ("threaded", "sharded", "async")
+
+
+def replay_capture(
+    capture: CaptureLike,
+    engine: str = "threaded",
+    config: Optional[FlowDNSConfig] = None,
+    sink: Optional[TextIO] = None,
+    realtime: bool = False,
+    speed: float = 1.0,
+    num_shards: Optional[int] = None,
+    fill_timeout: float = DEFAULT_FILL_TIMEOUT,
+    on_fill_timeout=None,
+) -> EngineReport:
+    """Replay a capture (path or frames) through one engine; returns its report.
+
+    ``realtime=True`` paces items by the recorded inter-arrival gaps
+    (divided by ``speed``); the default replays at max speed, which with
+    the DNS-before-flows ordering is fully deterministic.
+
+    Realtime caveat for ``engine="async"``: the pacing sleep is a
+    blocking ``time.sleep`` executed by the pump coroutine, so each gap
+    stalls the whole event loop, not just the source. Output rows and
+    report counters are unaffected (nothing else needs the loop during
+    an offline replay's gaps), but intra-run buffer-occupancy dynamics
+    are not faithful — study burst-induced loss under the threaded or
+    sharded engine, whose receiver threads sleep independently.
+    """
+    if engine not in REPLAY_ENGINES:
+        raise ConfigError(
+            f"cannot replay through engine {engine!r}; choose one of {REPLAY_ENGINES}"
+        )
+    if isinstance(capture, str):
+        # Missing file / not-a-capture must fail here, cleanly — not
+        # inside a receiver thread after the engine has spun up. (A
+        # *truncated* capture still replays: every cleanly-framed item
+        # flows through and the failure lands in report.warnings.)
+        probe_capture(capture)
+    config = config if config is not None else FlowDNSConfig()
+    instance = engine_for(engine, config=config, sink=sink, num_shards=num_shards)
+    dns_sources, flow_sources = replay_sources(capture, realtime=realtime, speed=speed)
+    warnings: List[str] = []
+    if engine == "threaded":
+        flow_sources = [
+            gated_with_warning(
+                instance, source, fill_timeout, warnings, on_timeout=on_fill_timeout
+            )
+            for source in flow_sources
+        ]
+        report = instance.run(dns_sources, flow_sources)
+    else:
+        report = instance.run(dns_sources, flow_sources, dns_first=True)
+    report.warnings.extend(warnings)
+    return report

@@ -29,13 +29,18 @@ class RecordStream:
         self._source: Iterator = iter(source)
         self.buffer = BoundedBuffer(capacity, name=name)
         self._exhausted = False
+        #: The exception a failing source raised mid-stream, if any.
+        self.error: Optional[BaseException] = None
 
     def pump(self, max_records: int) -> int:
         """Move up to ``max_records`` from the source into the buffer.
 
         Returns the number of records *taken from the source* (accepted or
         dropped — drops are the buffer's concern). Closes the buffer when
-        the source is exhausted.
+        the source is exhausted — including when it *fails*: a raising
+        source must still end its stream, or downstream drain workers
+        would wait forever on a buffer that can never close. The error is
+        recorded on :attr:`error` and re-raised.
         """
         if self._exhausted:
             return 0
@@ -51,6 +56,11 @@ class RecordStream:
                 self._exhausted = True
                 self.buffer.close()
                 break
+            except Exception as exc:
+                self.error = exc
+                self._exhausted = True
+                self.buffer.close()
+                raise
             self.buffer.push(item)
             moved += 1
         return moved

@@ -29,6 +29,24 @@ class SystemClock(Clock):
         return _time.time()
 
 
+class MonotonicClock(Clock):
+    """A never-backwards clock for interval measurement.
+
+    Wall clocks can step (NTP slew, manual adjustment), which would
+    corrupt recorded inter-arrival gaps; default capture timestamps
+    (:mod:`repro.replay`) therefore come from this clock so replay can
+    reproduce the gaps faithfully. (Live DNS frames are the exception:
+    they carry the fill lane's wall-clock arrival stamp instead, because
+    a replay must store records at the *identical* timestamps the live
+    session used — that lane trades step-immunity for storage fidelity.)
+    The absolute values are only meaningful within one process lifetime
+    — exactly what a capture session is.
+    """
+
+    def now(self) -> float:
+        return _time.monotonic()
+
+
 class SimClock(Clock):
     """A manually advanced clock driven by record timestamps.
 

@@ -273,6 +273,176 @@ class TestAsyncLiveLoopback:
         assert flow_ingest.ingest_stats.accepted == len(datagrams)
 
 
+class TestRequestStopIdempotency:
+    """request_stop is safe from any thread, any number of times, at any
+    point in the run's life: before start (latched), repeatedly during a
+    run, while the drain is in flight, and after the loop is gone."""
+
+    def _live_run_in_thread(self, engine, dns_sources, flow_sources):
+        result = {}
+        thread = threading.Thread(
+            target=lambda: result.update(
+                report=engine.run(dns_sources, flow_sources)
+            ),
+            daemon=True,
+        )
+        thread.start()
+        return thread, result
+
+    def test_stop_before_start_is_latched(self):
+        """A stop requested before the loop exists must end the live run
+        at startup instead of being lost (which would hang forever)."""
+        ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        engine = AsyncEngine(FlowDNSConfig())
+        engine.request_stop()
+        engine.request_stop()  # latching twice is fine too
+        thread, result = self._live_run_in_thread(engine, [ingest], [])
+        thread.join(timeout=20.0)
+        assert not thread.is_alive(), "latched stop was lost"
+        assert result["report"].dns_records == 0
+
+    def test_stop_before_start_does_not_break_offline_run(self):
+        """A latched stop must not truncate a finite-source run: offline
+        sources drain fully regardless."""
+        engine = AsyncEngine(FlowDNSConfig())
+        engine.request_stop()
+        flows = _flows(matched=30, unmatched=5)
+        report = engine.run([_dns_records()[:50]], [flows], dns_first=True)
+        assert report.dns_records == 50
+        assert report.flow_records == len(flows)
+
+    def test_double_stop_from_multiple_threads(self):
+        """Concurrent and repeated stops during a live run neither hang
+        nor double-report."""
+        wires = _dns_wires(count=10)
+        expected = len(wires) + len(wires) // 5
+        ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        engine = AsyncEngine(FlowDNSConfig())
+        thread, result = self._live_run_in_thread(engine, [ingest], [])
+        dns_addr = ingest.wait_ready()
+        with socket.create_connection(dns_addr, timeout=5.0) as conn:
+            conn.sendall(frame_messages(wires))
+        deadline = time.monotonic() + 20.0
+        while engine.dns_records_seen < expected:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        stoppers = [
+            threading.Thread(target=engine.request_stop) for _ in range(4)
+        ]
+        for t in stoppers:
+            t.start()
+        for t in stoppers:
+            t.join(timeout=10.0)
+        engine.request_stop()  # and once more from this thread
+        thread.join(timeout=20.0)
+        assert not thread.is_alive(), "double stop hung the engine"
+        assert "report" in result and result["report"].dns_records == expected
+
+    def test_stop_during_drain_does_not_lose_or_double_count(self):
+        """Extra stops racing the drain phase change nothing: every
+        accepted datagram's flows are still correlated exactly once."""
+        flows = _wire_flows(count=8, extra_unmatched=0)
+        datagrams = list(FlowExporter(version=5, batch_size=4).export(flows))
+        ingest = UdpFlowIngest()
+        engine = AsyncEngine(FlowDNSConfig())
+        thread, result = self._live_run_in_thread(engine, [], [ingest])
+        flow_addr = ingest.wait_ready()
+        for datagram in datagrams:
+            send_datagrams([datagram], flow_addr)
+            time.sleep(0.001)
+        deadline = time.monotonic() + 20.0
+        while engine.flows_seen < len(flows):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        engine.request_stop()
+        # Hammer the stop path while the drain runs to completion.
+        while thread.is_alive():
+            engine.request_stop()
+            time.sleep(0.001)
+        thread.join(timeout=20.0)
+        report = result["report"]
+        assert report.flow_records == len(flows)
+        assert ingest.ingest_stats.accepted == len(datagrams)
+
+    def test_stop_racing_loop_shutdown_is_dropped(self):
+        """The narrow race: the loop closes between reading self._loop and
+        the threadsafe call. call_soon_threadsafe raises RuntimeError on a
+        closed loop; request_stop must swallow it (never propagate into a
+        signal handler) and must NOT latch — a finished run needs no
+        stopping, and a latched flag would auto-stop the engine's next
+        run at startup."""
+        import asyncio
+
+        engine = AsyncEngine(FlowDNSConfig())
+        closed = asyncio.new_event_loop()
+        closed.close()
+        engine._loop = closed
+        engine._stop_event = asyncio.Event()
+        engine.request_stop()  # must not raise
+        assert engine._stop_pending is False
+
+    def test_latched_stop_is_consumed_not_sticky(self):
+        """A pre-start latch applies to exactly one run: the same engine
+        can run again afterwards without stopping itself at startup."""
+        ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        engine = AsyncEngine(FlowDNSConfig())
+        engine.request_stop()
+        thread, result = self._live_run_in_thread(engine, [ingest], [])
+        thread.join(timeout=20.0)
+        assert not thread.is_alive()
+        assert engine._stop_pending is False
+        # A later offline run on the same engine completes normally.
+        flows = _flows(matched=10, unmatched=2)
+        report = engine.run([[]], [flows], dns_first=True)
+        assert report.flow_records == len(flows)
+
+    def test_stop_after_run_completes_is_noop(self):
+        """A post-completion stop is dropped, not latched: it must not
+        poison a reused engine's next run into stopping at startup."""
+        engine = AsyncEngine(FlowDNSConfig())
+        report = engine.run([[]], [[]])
+        engine.request_stop()
+        engine.request_stop()
+        assert report.flow_records == 0
+        assert engine._stop_pending is False
+        flows = _flows(matched=10, unmatched=2)
+        second = engine.run([[]], [flows], dns_first=True)
+        assert second.flow_records == len(flows)
+
+    def test_stop_works_on_reused_engine_second_live_run(self):
+        """The second run must not inherit the first run's (already-set)
+        stop event: a request_stop during run 2 has to set run 2's own
+        event, or the stop would be silently lost."""
+        engine = AsyncEngine(FlowDNSConfig())
+        engine.run([[]], [[]])  # run 1 completes
+        ingest = TcpDnsIngest(clock=lambda: _CLOCK_TS)
+        thread, result = self._live_run_in_thread(engine, [ingest], [])
+        ingest.wait_ready()
+        engine.request_stop()
+        thread.join(timeout=20.0)
+        assert not thread.is_alive(), "stop lost on reused engine"
+        assert result["report"].dns_records == 0
+
+    def test_reused_engine_reports_each_run_independently(self):
+        """Each run on a reused engine gets fresh processors and storage:
+        the second report carries only its own counts and does not
+        correlate against the first run's stored records."""
+        engine = AsyncEngine(FlowDNSConfig())
+        dns = _dns_records()[:50]
+        first = engine.run([list(dns)], [_flows(matched=30, unmatched=5)],
+                           dns_first=True)
+        assert first.dns_records == 50
+        assert first.matched_flows > 0
+        # Same flows, but NO dns this time: nothing may match, and the
+        # first run's counts must not leak in.
+        second = engine.run([[]], [_flows(matched=30, unmatched=5)],
+                            dns_first=True)
+        assert second.dns_records == 0
+        assert second.matched_flows == 0
+        assert second.flow_records == first.flow_records
+        assert second.final_map_entries == 0
+
+
 class TestBackpressure:
     def test_udp_overflow_drops_are_counted(self):
         """A full bounded ingest buffer drops whole batches and counts

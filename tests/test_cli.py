@@ -249,3 +249,251 @@ class TestFigures:
             content = (tmp_path / name).read_text()
             assert content.startswith("#")
             assert len(content.splitlines()) > 1
+
+
+class TestCaptureReplay:
+    def _rows(self, path):
+        return sorted(line for line in path.read_text().splitlines()
+                      if not line.startswith("#"))
+
+    def test_capture_scenario_then_replay(self, tmp_path, capsys):
+        capture = tmp_path / "two-site.fdc"
+        rc = main(["capture", str(capture), "--scenario", "two-site"])
+        assert rc == 0
+        assert "scenario 'two-site'" in capsys.readouterr().err
+        from repro.replay import load_capture
+
+        assert len(load_capture(str(capture))) > 0
+
+        output = tmp_path / "replayed.tsv"
+        rc = main(["replay", str(capture), "--engine", "async",
+                   "--output", str(output)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "replayed" in err and "engine=async" in err
+        assert self._rows(output)
+
+    def test_replay_engines_agree_via_cli(self, tmp_path):
+        """The differential contract holds end-to-end through the CLI."""
+        capture = tmp_path / "churn.fdc"
+        assert main(["capture", str(capture), "--scenario", "cname-churn"]) == 0
+        outputs = {}
+        for engine, extra in (("threaded", []), ("sharded", ["--shards", "2"])):
+            output = tmp_path / f"{engine}.tsv"
+            rc = main(["replay", str(capture), "--engine", engine,
+                       "--output", str(output), *extra])
+            assert rc == 0
+            outputs[engine] = self._rows(output)
+        assert outputs["threaded"] == outputs["sharded"]
+
+    def test_replay_exact_ttl_variant(self, tmp_path, capsys):
+        capture = tmp_path / "ttl.fdc"
+        assert main(["capture", str(capture), "--scenario", "ttl-expiry"]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(capture), "--exact-ttl",
+                     "--output", str(tmp_path / "t.tsv")]) == 0
+        assert "flows correlated" in capsys.readouterr().err
+
+    def test_replay_rejects_unknown_engine(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "x.fdc", "--engine", "warp"])
+
+    def test_capture_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["capture", "x.fdc", "--scenario", "nope"])
+
+    def test_replay_missing_capture_fails_cleanly(self, tmp_path, capsys):
+        """A bad capture path exits 2 with a message — it must neither
+        hang the engine nor truncate an existing --output file."""
+        output = tmp_path / "results.tsv"
+        output.write_text("precious previous results\n")
+        rc = main(["replay", str(tmp_path / "missing.fdc"),
+                   "--output", str(output)])
+        assert rc == 2
+        assert "cannot replay" in capsys.readouterr().err
+        assert output.read_text() == "precious previous results\n"
+
+    def test_replay_non_capture_file_fails_cleanly(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.fdc"
+        bogus.write_bytes(b"not a capture at all")
+        rc = main(["replay", str(bogus), "--output",
+                   str(tmp_path / "out.tsv")])
+        assert rc == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_replay_bad_speed_rejected_before_sink_opens(self, tmp_path, capsys):
+        capture = tmp_path / "ok.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        output = tmp_path / "results.tsv"
+        output.write_text("keep me\n")
+        rc = main(["replay", str(capture), "--realtime", "--speed", "-1",
+                   "--output", str(output)])
+        assert rc == 2
+        assert "--speed" in capsys.readouterr().err
+        assert output.read_text() == "keep me\n"
+
+    def test_capture_rejects_mixed_mode_flags(self, tmp_path, capsys):
+        """Flags belonging to the other capture mode error out instead of
+        being silently ignored."""
+        rc = main(["capture", str(tmp_path / "s.fdc"), "--scenario", "bursts",
+                   "--duration", "5"])
+        assert rc == 2
+        assert "--scenario" in capsys.readouterr().err
+        # Presence-based: even a live flag set to its default value is an
+        # explicit request and gets rejected with --scenario.
+        rc = main(["capture", str(tmp_path / "s.fdc"), "--scenario", "bursts",
+                   "--flow-port", "2055"])
+        assert rc == 2
+        assert "--flow-port" in capsys.readouterr().err
+        rc = main(["capture", str(tmp_path / "l.fdc"), "--seed", "42",
+                   "--duration", "0.2", "--flow-port", "0", "--dns-port", "0"])
+        assert rc == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_replay_fill_gate_warning_printed_once(self, tmp_path, capsys,
+                                                   monkeypatch):
+        """A timed-out fill gate warns exactly once on stderr (from
+        report.warnings), not once immediately plus once at the end."""
+        import repro.replay.runner as runner
+        from repro.core.metrics import EngineReport
+        from repro.core.pipeline import fill_gate_warning
+
+        capture = tmp_path / "gate.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        capsys.readouterr()
+
+        def fake_replay(capture, on_fill_timeout=None, fill_timeout=0.0, **kw):
+            report = EngineReport()
+            # What gated_with_warning does on a timeout:
+            report.warnings.append(fill_gate_warning(fill_timeout))
+            if on_fill_timeout is not None:
+                on_fill_timeout()
+            return report
+
+        monkeypatch.setattr(runner, "replay_capture", fake_replay)
+        rc = main(["replay", str(capture),
+                   "--output", str(tmp_path / "g.tsv")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert err.count("partially-filled store") == 1
+
+    def test_replay_speed_requires_realtime(self, tmp_path, capsys):
+        capture = tmp_path / "ok.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        rc = main(["replay", str(capture), "--speed", "2",
+                   "--output", str(tmp_path / "o.tsv")])
+        assert rc == 2
+        assert "--realtime" in capsys.readouterr().err
+
+    def test_replay_rejects_inapplicable_engine_flags(self, tmp_path, capsys):
+        """--shards and --fill-timeout error out for engines they cannot
+        affect instead of being silently dropped."""
+        capture = tmp_path / "ok.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        rc = main(["replay", str(capture), "--engine", "threaded",
+                   "--shards", "8", "--output", str(tmp_path / "o.tsv")])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+        rc = main(["replay", str(capture), "--engine", "async",
+                   "--fill-timeout", "5", "--output", str(tmp_path / "o.tsv")])
+        assert rc == 2
+        assert "--fill-timeout" in capsys.readouterr().err
+
+    def test_serve_bind_failure_preserves_output_file(self, tmp_path, capsys):
+        """serve's --output sink opens lazily: a bind failure exits 2
+        without truncating prior results (same contract as --capture)."""
+        import socket
+
+        output = tmp_path / "results.tsv"
+        output.write_text("prior results\n")
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main(["serve", "--duration", "5", "--flow-port", "0",
+                       "--dns-port", str(port), "--output", str(output)])
+        assert rc == 2
+        assert "failed to bind" in capsys.readouterr().err
+        assert output.read_text() == "prior results\n"
+
+    def test_capture_live_bounded_duration(self, tmp_path, capsys):
+        """Live capture mode: bind ephemeral sockets, record (nothing) for
+        the bounded duration, and leave a valid, empty capture file."""
+        capture = tmp_path / "live.fdc"
+        rc = main(["capture", str(capture), "--duration", "0.3",
+                   "--flow-port", "0", "--dns-port", "0"])
+        assert rc == 0
+        assert "capture written" in capsys.readouterr().err
+        from repro.replay import load_capture
+
+        assert load_capture(str(capture)) == []
+
+    def test_capture_bind_failure_preserves_existing_file(self, tmp_path,
+                                                          capsys):
+        """A bind failure must exit 2 without truncating whatever already
+        lives at the capture path (the writer opens lazily)."""
+        import socket
+
+        target = tmp_path / "precious.fdc"
+        target.write_bytes(b"earlier capture bytes")
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main(["capture", str(target), "--duration", "5",
+                       "--flow-port", "0", "--dns-port", str(port)])
+        assert rc == 2
+        assert "failed to bind" in capsys.readouterr().err
+        assert target.read_bytes() == b"earlier capture bytes"
+
+    def test_serve_capture_tee(self, tmp_path, capsys):
+        """`serve --capture` tees into a replayable file alongside the
+        normal correlation output."""
+        capture = tmp_path / "tee.fdc"
+        rc = main(["serve", "--duration", "0.3", "--flow-port", "0",
+                   "--dns-port", "0", "--capture", str(capture)])
+        assert rc == 0
+        assert "capture written" in capsys.readouterr().err
+        from repro.replay import load_capture
+
+        assert load_capture(str(capture)) == []
+
+
+class TestFillTimeout:
+    def test_flag_parses_with_default(self):
+        args = build_parser().parse_args([
+            "correlate", "--dns", "d", "--flows", "f", "--mapping", "m",
+        ])
+        from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
+
+        assert args.fill_timeout == DEFAULT_FILL_TIMEOUT
+        args = build_parser().parse_args([
+            "replay", "x.fdc", "--fill-timeout", "7.5",
+        ])
+        assert args.fill_timeout == 7.5
+
+    def test_gate_timeout_lands_in_report_warnings(self, capsys):
+        """A timed-out fill gate is recorded on the report (and printed),
+        instead of existing only as a stderr line."""
+        from repro.cli import _gated_flow_source
+        from repro.core.pipeline import fill_gate_warning
+
+        class NeverDone:
+            fillup_complete = False
+
+        warnings_out = []
+        source = _gated_flow_source(NeverDone(), [1, 2], 0.01, warnings_out)
+        assert list(source) == [1, 2]
+        assert warnings_out == [fill_gate_warning(0.01)]
+        assert warnings_out[0] in capsys.readouterr().err
+
+    def test_gate_without_timeout_stays_silent(self, capsys):
+        from repro.cli import _gated_flow_source
+
+        class Done:
+            fillup_complete = True
+
+        warnings_out = []
+        source = _gated_flow_source(Done(), [3], 0.01, warnings_out)
+        assert list(source) == [3]
+        assert warnings_out == []

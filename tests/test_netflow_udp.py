@@ -94,6 +94,31 @@ class TestUdpFlowSource:
         with UdpFlowSource(recv_timeout=0.05) as source:
             assert source.recv_once() is None
 
+    def test_capture_tee_records_datagrams_pre_decode(self, tmp_path):
+        """The capture tap records every received datagram as raw wire
+        bytes — malformed input included — so a replay reproduces the
+        original run's malformed counters too."""
+        from repro.replay.capture import LANE_FLOW, CaptureWriter, load_capture
+
+        path = str(tmp_path / "udp-tee.fdc")
+        datagrams = list(
+            FlowExporter(version=9, batch_size=4).export(_flows(8))
+        ) + [b"\xff" * 20]
+        writer = CaptureWriter(path)
+        with UdpFlowSource(capture=writer) as source:
+            send_datagrams(datagrams, source.address)
+            seen = []
+            deadline = time.monotonic() + 10.0
+            while len(seen) < len(datagrams):
+                assert time.monotonic() < deadline, "datagrams lost on loopback"
+                datagram = source.recv_once()
+                if datagram is not None:
+                    seen.append(datagram)
+        writer.close()
+        frames = load_capture(path)
+        assert [f.lane for f in frames] == [LANE_FLOW] * len(datagrams)
+        assert [f.payload for f in frames] == datagrams
+
     def test_stop_terminates_iteration(self):
         with UdpFlowSource(recv_timeout=0.05) as source:
             collected = []

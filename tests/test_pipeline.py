@@ -168,6 +168,66 @@ class TestReportAssembly:
         assert buffer_loss_rate([buffer]) == pytest.approx(3 / 5)
         assert buffer_loss_rate([]) == 0.0
 
+    def test_merge_no_summaries_yields_zero_report(self):
+        """An engine whose workers all died before reporting still merges
+        — to an all-zero report, not a crash on empty sums."""
+        report = merge_summaries([], variant_name="x")
+        assert report.flow_records == 0
+        assert report.dns_records == 0
+        assert report.matched_flows == 0
+        assert report.total_bytes == 0
+        assert report.chain_lengths == {}
+        assert report.final_map_entries == 0
+        assert report.overwrites == 0
+        assert report.correlation_rate == 0.0
+
+    def test_merge_empty_broadcast_overwrites_default(self):
+        """broadcast_overwrites takes max() over no stacks: the explicit
+        default=0 guard, not a ValueError."""
+        report = merge_summaries([], variant_name="x", broadcast_overwrites=True)
+        assert report.overwrites == 0
+
+    def test_merge_all_dead_workers(self):
+        """Every shard reporting the synthetic empty_summary (worker died
+        mid-run) merges to zeros with the errors still visible per dict."""
+        summaries = [empty_summary(i, f"shard {i} died") for i in range(3)]
+        report = merge_summaries(summaries, variant_name="sharded")
+        assert report.flow_records == 0
+        assert report.matched_flows == 0
+        assert report.correlation_rate == 0.0
+        assert all(s["error"] for s in summaries)
+
+    def test_merge_mixed_dead_and_live_workers(self):
+        """One dead stack must not zero out the survivors' counters."""
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        fillup = FillUpProcessor(storage)
+        lookup = LookUpProcessor(storage, config)
+        fillup.process(_a(1.0, "live.example", "10.0.0.1"))
+        lookup.correlate_batch([
+            FlowRecord(ts=2.0, src_ip="10.0.0.1", dst_ip="100.64.0.1",
+                       bytes_=100),
+        ])
+        live = stack_summary([fillup], [lookup], storage, shard_id=0)
+        report = merge_summaries(
+            [live, empty_summary(1, "boom")], variant_name="sharded"
+        )
+        assert report.flow_records == 1
+        assert report.matched_flows == 1
+        assert report.dns_records == 1
+
+    def test_stack_summary_with_no_processors(self):
+        """A stack that never got a worker (empty source list) summarises
+        to zeros over empty processor sequences."""
+        config = FlowDNSConfig()
+        storage = DnsStorage(config)
+        summary = stack_summary([], [], storage)
+        assert summary["flows_in"] == 0
+        assert summary["records_in"] == 0
+        assert summary["chain_lengths"] == {}
+        report = merge_summaries([summary], variant_name="x")
+        assert report.flow_records == 0
+
 
 class TestCollectIngest:
     def test_collects_and_disambiguates(self):
@@ -184,3 +244,29 @@ class TestCollectIngest:
         assert report.ingest["udp[a]"].received == 1
         assert len(report.ingest) == 2
         assert sum(s.received for s in report.ingest.values()) == 3
+
+
+class TestIngestStats:
+    def test_loss_rate_zero_when_nothing_received(self):
+        """The empty-worker shape: a listener that never saw a datagram
+        reports 0.0 loss, not a ZeroDivisionError."""
+        assert IngestStats(name="idle").loss_rate == 0.0
+
+    def test_loss_rate_all_dropped(self):
+        """The all-dropped edge: every received unit bounced off a full
+        buffer — loss is exactly 1.0 and the counters stay consistent."""
+        stats = IngestStats(name="drowned", received=7, accepted=0, dropped=7)
+        assert stats.loss_rate == 1.0
+        assert stats.received == stats.accepted + stats.dropped
+
+    def test_all_dropped_buffer_feeds_report_loss(self):
+        """An ingest buffer that dropped everything drives the merged
+        report's overall_loss_rate to 1.0 through buffer_loss_rate."""
+        class Stats:
+            offered = 7
+            dropped = 7
+
+        class Buffer:
+            stats = Stats()
+
+        assert buffer_loss_rate([Buffer()]) == 1.0

@@ -1,0 +1,375 @@
+"""Tests for the capture format and replay sources.
+
+The :class:`CaptureDecoder` suite mirrors ``tests/test_dns_tcp.py``'s
+:class:`TcpFrameDecoder` contract — randomized chunk boundaries, 1-byte
+feeds, truncated tails that surface *after* every cleanly-framed item —
+because the capture reader makes the same promise: nothing the transport
+or filesystem does to the byte stream may change what comes out.
+"""
+
+import io
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay.capture import (
+    LANE_DNS,
+    LANE_FLOW,
+    LANES,
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    CaptureDecoder,
+    CaptureFrame,
+    CaptureWriter,
+    encode_frame,
+    load_capture,
+    read_capture,
+    write_capture,
+)
+from repro.replay.source import ReplaySource, replay_sources
+from repro.util.errors import ConfigError, ParseError
+
+#: Finite doubles only: the !d encoding round-trips every finite float
+#: exactly, and a NaN timestamp would break frame equality.
+_TS = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+_FRAMES = st.lists(
+    st.builds(
+        CaptureFrame,
+        ts=_TS,
+        lane=st.sampled_from(LANES),
+        payload=st.binary(min_size=0, max_size=120),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _stream(frames):
+    return MAGIC + b"".join(encode_frame(f) for f in frames)
+
+
+class TestFrameValidation:
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ParseError):
+            CaptureFrame(1.0, "carrier-pigeon", b"x")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ParseError):
+            CaptureFrame(1.0, LANE_FLOW, b"x" * (MAX_FRAME_PAYLOAD + 1))
+
+
+class TestDecoder:
+    def test_whole_stream_in_one_chunk(self):
+        frames = [
+            CaptureFrame(1.5, LANE_FLOW, b"datagram"),
+            CaptureFrame(2.5, LANE_DNS, b"message"),
+        ]
+        decoder = CaptureDecoder()
+        assert decoder.feed(_stream(frames)) == frames
+        assert decoder.frames_out == 2
+        assert decoder.pending_bytes == 0
+        decoder.close()
+
+    def test_split_inside_magic(self):
+        frames = [CaptureFrame(0.0, LANE_DNS, b"m")]
+        stream = _stream(frames)
+        decoder = CaptureDecoder()
+        assert decoder.feed(stream[:3]) == []
+        assert decoder.feed(stream[3:]) == frames
+
+    def test_bad_magic_raises_immediately(self):
+        decoder = CaptureDecoder()
+        with pytest.raises(ParseError, match="magic"):
+            decoder.feed(b"NOTACAP\x01rest")
+
+    def test_bad_magic_detected_from_first_divergent_byte(self):
+        """A wrong prefix fails as soon as it diverges — the decoder does
+        not wait for all eight magic bytes."""
+        decoder = CaptureDecoder()
+        with pytest.raises(ParseError, match="magic"):
+            decoder.feed(b"X")
+
+    def test_unknown_lane_tag_is_corruption(self):
+        decoder = CaptureDecoder()
+        decoder.feed(MAGIC)
+        with pytest.raises(ParseError, match="lane"):
+            decoder.feed(b"\x7f" + b"\x00" * 12)
+
+    def test_oversized_length_claim_is_corruption(self):
+        decoder = CaptureDecoder()
+        decoder.feed(MAGIC)
+        bad = bytes([1]) + b"\x00" * 8 + (MAX_FRAME_PAYLOAD + 1).to_bytes(4, "big")
+        with pytest.raises(ParseError, match="cap"):
+            decoder.feed(bad)
+
+    def test_frames_before_corruption_survive(self):
+        """[valid frame][corrupt tag] in one chunk hands back the valid
+        frame; the raise is deferred to the next feed or close."""
+        good = CaptureFrame(3.0, LANE_FLOW, b"ok")
+        decoder = CaptureDecoder()
+        out = decoder.feed(_stream([good]) + b"\x7f garbage....")
+        assert out == [good]
+        with pytest.raises(ParseError):
+            decoder.feed(b"")
+        with pytest.raises(ParseError):
+            decoder.close()
+
+    def test_empty_close_raises(self):
+        with pytest.raises(ParseError, match="empty"):
+            CaptureDecoder().close()
+
+    def test_close_inside_magic_raises(self):
+        decoder = CaptureDecoder()
+        decoder.feed(MAGIC[:4])
+        with pytest.raises(ParseError, match="magic"):
+            decoder.close()
+
+
+class TestDecoderProperty:
+    @given(frames=_FRAMES, cuts=st.lists(st.integers(0, 2 ** 16), max_size=24))
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_split_offsets(self, frames, cuts):
+        """Reassembly is exact under any chunking — mid-magic, mid-header,
+        mid-payload, anything."""
+        stream = _stream(frames)
+        offsets = sorted({min(c, len(stream)) for c in cuts} | {0, len(stream)})
+        decoder = CaptureDecoder()
+        out = []
+        for start, end in zip(offsets, offsets[1:]):
+            out.extend(decoder.feed(stream[start:end]))
+        decoder.close()
+        assert out == frames
+        assert decoder.frames_out == len(frames)
+        assert decoder.pending_bytes == 0
+        assert decoder.bytes_in == len(stream)
+
+    @given(frames=_FRAMES)
+    @settings(max_examples=40, deadline=None)
+    def test_one_byte_feeds(self, frames):
+        stream = _stream(frames)
+        decoder = CaptureDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        decoder.close()
+        assert out == frames
+
+    @given(frames=_FRAMES, trunc=st.integers(min_value=1, max_value=2 ** 12))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_tail_detected_without_losing_framed_items(
+        self, frames, trunc
+    ):
+        """Cut strictly inside the final frame: every earlier frame still
+        comes out of feed(); only close() raises."""
+        stream = _stream(frames)
+        last_frame = 13 + len(frames[-1].payload)
+        trunc = 1 + (trunc - 1) % (last_frame - 1)
+        decoder = CaptureDecoder()
+        out = decoder.feed(stream[: len(stream) - trunc])
+        assert out == frames[:-1]
+        with pytest.raises(ParseError):
+            decoder.close()
+
+    @given(frames=_FRAMES)
+    @settings(max_examples=40, deadline=None)
+    def test_file_round_trip(self, frames, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cap") / "roundtrip.fdc")
+        assert write_capture(path, frames) == len(frames)
+        assert load_capture(path) == frames
+
+
+class TestReadCapture:
+    def test_truncated_file_yields_clean_frames_then_raises(self, tmp_path):
+        frames = [
+            CaptureFrame(1.0, LANE_FLOW, b"first"),
+            CaptureFrame(2.0, LANE_DNS, b"second"),
+            CaptureFrame(3.0, LANE_FLOW, b"lost-tail"),
+        ]
+        path = tmp_path / "trunc.fdc"
+        path.write_bytes(_stream(frames)[:-4])
+        reader = read_capture(str(path), chunk_size=7)
+        assert next(reader) == frames[0]
+        assert next(reader) == frames[1]
+        with pytest.raises(ParseError):
+            next(reader)
+
+    def test_not_a_capture_file(self, tmp_path):
+        path = tmp_path / "nope.fdc"
+        path.write_bytes(b"definitely not a capture")
+        with pytest.raises(ParseError, match="magic"):
+            list(read_capture(str(path)))
+
+
+class TestCaptureWriter:
+    def test_path_target_round_trip(self, tmp_path):
+        path = str(tmp_path / "w.fdc")
+        with CaptureWriter(path) as writer:
+            writer.record_flow(b"dgram", ts=1.0)
+            writer.record_dns(b"msg", ts=2.0)
+        assert writer.frames_written == 2
+        assert load_capture(path) == [
+            CaptureFrame(1.0, LANE_FLOW, b"dgram"),
+            CaptureFrame(2.0, LANE_DNS, b"msg"),
+        ]
+
+    def test_file_object_target_left_open(self):
+        sink = io.BytesIO()
+        writer = CaptureWriter(sink)
+        writer.record_flow(b"x", ts=0.5)
+        writer.close()
+        assert not sink.closed
+        decoder = CaptureDecoder()
+        frames = decoder.feed(sink.getvalue())
+        decoder.close()
+        assert frames == [CaptureFrame(0.5, LANE_FLOW, b"x")]
+
+    def test_clock_stamp_when_ts_omitted(self):
+        ticks = iter([10.0, 11.5])
+
+        class FakeClock:
+            def now(self):
+                return next(ticks)
+
+        sink = io.BytesIO()
+        writer = CaptureWriter(sink, clock=FakeClock())
+        writer.record_flow(b"a")
+        writer.record_dns(b"b")
+        decoder = CaptureDecoder()
+        frames = decoder.feed(sink.getvalue())
+        assert [f.ts for f in frames] == [10.0, 11.5]
+
+    def test_path_target_opens_lazily(self, tmp_path):
+        """A path target must not be touched until the first frame (or an
+        explicit ensure_open) — a session that dies before receiving
+        anything leaves prior data at that path intact."""
+        path = tmp_path / "precious.fdc"
+        path.write_bytes(b"prior contents")
+        writer = CaptureWriter(str(path))
+        writer.close()
+        assert path.read_bytes() == b"prior contents"
+
+    def test_ensure_open_materializes_valid_empty_capture(self, tmp_path):
+        path = str(tmp_path / "empty.fdc")
+        writer = CaptureWriter(path)
+        writer.ensure_open()
+        writer.close()
+        assert load_capture(path) == []
+
+    def test_record_after_close_is_noop(self, tmp_path):
+        path = str(tmp_path / "closed.fdc")
+        writer = CaptureWriter(path)
+        writer.record_flow(b"kept", ts=1.0)
+        writer.close()
+        writer.record_flow(b"dropped", ts=2.0)
+        writer.close()  # double-close is fine too
+        assert [f.payload for f in load_capture(path)] == [b"kept"]
+
+    def test_concurrent_writers_interleave_whole_frames(self, tmp_path):
+        """Two threads tee into one writer (the threaded engine's shape:
+        UDP iterator thread + a DNS tap); every frame must land intact."""
+        path = str(tmp_path / "mt.fdc")
+        writer = CaptureWriter(path)
+
+        def pump(lane, payload):
+            for i in range(200):
+                writer.record(lane, payload + i.to_bytes(2, "big"))
+
+        threads = [
+            threading.Thread(target=pump, args=(LANE_FLOW, b"flow")),
+            threading.Thread(target=pump, args=(LANE_DNS, b"dns")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        writer.close()
+        frames = load_capture(path)
+        assert len(frames) == 400
+        by_lane = {LANE_FLOW: [], LANE_DNS: []}
+        for frame in frames:
+            by_lane[frame.lane].append(frame.payload)
+        # Per-lane order is each thread's program order.
+        assert by_lane[LANE_FLOW] == [b"flow" + i.to_bytes(2, "big") for i in range(200)]
+        assert by_lane[LANE_DNS] == [b"dns" + i.to_bytes(2, "big") for i in range(200)]
+
+
+class TestReplaySource:
+    FRAMES = [
+        CaptureFrame(1.0, LANE_DNS, b"d0"),
+        CaptureFrame(1.5, LANE_FLOW, b"f0"),
+        CaptureFrame(2.0, LANE_DNS, b"d1"),
+        CaptureFrame(4.0, LANE_FLOW, b"f1"),
+    ]
+
+    def test_lane_filtering_and_item_shapes(self):
+        dns = list(ReplaySource(self.FRAMES, LANE_DNS))
+        flow = list(ReplaySource(self.FRAMES, LANE_FLOW))
+        assert dns == [(1.0, b"d0"), (2.0, b"d1")]
+        assert flow == [b"f0", b"f1"]
+
+    def test_reiteration_and_counter(self):
+        source = ReplaySource(self.FRAMES, LANE_FLOW)
+        assert len(list(source)) == 2
+        assert source.items_replayed == 2
+        assert len(list(source)) == 2  # list re-iterates
+
+    def test_max_speed_never_sleeps(self):
+        sleeps = []
+        source = ReplaySource(self.FRAMES, LANE_FLOW, sleep=sleeps.append)
+        list(source)
+        assert sleeps == []
+
+    def test_realtime_sleeps_out_recorded_gaps(self):
+        sleeps = []
+        source = ReplaySource(
+            self.FRAMES, LANE_FLOW, realtime=True, sleep=sleeps.append
+        )
+        list(source)
+        # First item yields immediately; then the 1.5→4.0 gap.
+        assert sleeps == [2.5]
+
+    def test_realtime_speed_scales_gaps(self):
+        sleeps = []
+        source = ReplaySource(
+            self.FRAMES, LANE_FLOW, realtime=True, speed=2.0, sleep=sleeps.append
+        )
+        list(source)
+        assert sleeps == [1.25]
+
+    def test_realtime_negative_gap_clamped(self):
+        """Mixed-clock captures can interleave non-monotonic stamps; a
+        negative gap means 'no wait', never a negative sleep."""
+        frames = [
+            CaptureFrame(5.0, LANE_FLOW, b"late"),
+            CaptureFrame(1.0, LANE_FLOW, b"early"),
+            CaptureFrame(1.0, LANE_FLOW, b"same"),
+        ]
+        sleeps = []
+        list(ReplaySource(frames, LANE_FLOW, realtime=True, sleep=sleeps.append))
+        assert sleeps == []
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplaySource(self.FRAMES, "telepathy")
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplaySource(self.FRAMES, LANE_FLOW, speed=0.0)
+
+    def test_replay_sources_covers_both_lanes(self, tmp_path):
+        path = str(tmp_path / "both.fdc")
+        write_capture(path, self.FRAMES)
+        (dns_sources, flow_sources) = replay_sources(path)
+        assert [list(s) for s in dns_sources] == [[(1.0, b"d0"), (2.0, b"d1")]]
+        assert [list(s) for s in flow_sources] == [[b"f0", b"f1"]]
+
+    def test_replay_sources_materializes_one_shot_iterators(self):
+        """Two lanes iterate independently; a shared generator must not
+        be race-split between them (each lane would silently see only
+        the frames the other skipped)."""
+        (dns_sources, flow_sources) = replay_sources(iter(self.FRAMES))
+        assert list(dns_sources[0]) == [(1.0, b"d0"), (2.0, b"d1")]
+        assert list(flow_sources[0]) == [b"f0", b"f1"]

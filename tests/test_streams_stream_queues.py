@@ -45,6 +45,24 @@ class TestRecordStream:
         assert moved == 50
         assert stream.buffer.stats.dropped == 45
 
+    def test_failing_source_closes_buffer_and_records_error(self):
+        """A raising source must still end the stream — an open buffer
+        would make downstream drain workers wait forever."""
+        def source():
+            yield 1
+            yield 2
+            raise ValueError("wire corrupt")
+
+        stream = RecordStream("s", source(), capacity=10)
+        with pytest.raises(ValueError):
+            stream.pump(10)
+        assert stream.exhausted
+        assert stream.buffer.closed
+        assert isinstance(stream.error, ValueError)
+        # Items yielded before the failure are preserved.
+        assert stream.buffer.pop_batch(10) == [1, 2]
+        assert stream.pump(10) == 0  # further pumps are no-ops
+
 
 class TestStreamSet:
     def test_requires_streams(self):

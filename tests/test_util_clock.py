@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.util.clock import SimClock, SystemClock
+from repro.util.clock import MonotonicClock, SimClock, SystemClock
 
 
 class TestSimClock:
@@ -41,6 +41,20 @@ class TestSimClock:
 
     def test_repr_mentions_time(self):
         assert "3.000" in repr(SimClock(3.0))
+
+
+class TestMonotonicClock:
+    def test_never_goes_backwards(self):
+        clock = MonotonicClock()
+        readings = [clock.now() for _ in range(50)]
+        assert readings == sorted(readings)
+
+    def test_tracks_monotonic_time(self):
+        clock = MonotonicClock()
+        before = time.monotonic()
+        now = clock.now()
+        after = time.monotonic()
+        assert before <= now <= after
 
 
 class TestSystemClock:
