@@ -32,7 +32,13 @@ import sys
 from collections import defaultdict
 
 from repro.core.adapter import iter_csv, iter_jsonl, load_mapping_file
-from repro.core.config import FlowDNSConfig
+from repro.core.config import (
+    DEFAULT_DNS_PORT,
+    DEFAULT_FILL_TIMEOUT,
+    DEFAULT_FLOW_PORT,
+    DEFAULT_LIVE_HOST,
+    EngineConfig,
+)
 from repro.core.simulation import SimulationEngine
 from repro.core.variants import (
     ENGINE_VARIANTS,
@@ -154,14 +160,30 @@ def _add_correlate(subparsers) -> None:
 
 
 def _add_fill_timeout(parser) -> None:
-    from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
-
+    # default=None: EngineConfig.from_args needs flag *presence* to
+    # reject --fill-timeout under engines that have no fill gate.
     parser.add_argument(
-        "--fill-timeout", type=float, default=DEFAULT_FILL_TIMEOUT,
+        "--fill-timeout", type=float, default=None,
         help="seconds the threaded engine's flow gate waits for the DNS "
              "fill before correlating against a partially-filled store "
              f"(default: {DEFAULT_FILL_TIMEOUT:.0f})",
     )
+
+
+def _engine_config(args, command: str):
+    """Interpret CLI flags via EngineConfig.from_args; (config, rc) pair.
+
+    All per-engine/per-mode flag applicability lives in
+    :meth:`EngineConfig.from_args`; the CLI's job is only to print the
+    ConfigError and map it to exit code 2.
+    """
+    from repro.util.errors import ConfigError
+
+    try:
+        return EngineConfig.from_args(args, command), 0
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return None, 2
 
 
 def _gated_flow_source(engine, flow_records, timeout, warnings_out):
@@ -192,9 +214,9 @@ def _open_rows(path):
 
 
 def cmd_correlate(args) -> int:
-    if args.shards is not None and args.shards < 1:
-        print("--shards must be at least 1", file=sys.stderr)
-        return 2
+    engine_config, rc = _engine_config(args, "correlate")
+    if rc:
+        return rc
     dns_adapter, flow_adapter = load_mapping_file(args.mapping)
     if dns_adapter is None or flow_adapter is None:
         print("mapping config must define both 'dns' and 'flow' sections",
@@ -205,25 +227,22 @@ def cmd_correlate(args) -> int:
     flow_handle, flow_rows = _open_rows(args.flows)
     sink = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
     try:
-        config = FlowDNSConfig(num_split=args.num_split)
         dns_records = dns_adapter.adapt_many(dns_rows)
         flow_records = flow_adapter.adapt_many(flow_rows)
         gate_warnings = []
         if args.engine == "simulation":
-            engine = SimulationEngine(config, sink=sink)
+            engine = SimulationEngine(engine_config.flowdns, sink=sink)
             report = engine.run(dns_records, flow_records)
         elif args.engine in ("sharded", "async"):
-            engine = engine_for(
-                args.engine, config=config, sink=sink, num_shards=args.shards
-            )
+            engine = engine_for(args.engine, config=engine_config, sink=sink)
             # dns_first gives the hard DNS-before-flows ordering offline
             # correlation expects (per-shard FIFO queues / the async fill
             # barrier).
             report = engine.run([dns_records], [flow_records], dns_first=True)
         else:
-            engine = engine_for(args.engine, config=config, sink=sink)
+            engine = engine_for(args.engine, config=engine_config, sink=sink)
             flow_source = _gated_flow_source(
-                engine, flow_records, args.fill_timeout, gate_warnings
+                engine, flow_records, engine_config.fill_timeout, gate_warnings
             )
             report = engine.run([dns_records], [flow_source])
         report.warnings.extend(gate_warnings)
@@ -243,50 +262,25 @@ def cmd_correlate(args) -> int:
     return 0
 
 
-#: Shared socket-session defaults, applied by `_apply_live_defaults` —
-#: argparse keeps None so `flowdns capture --scenario` can tell an
-#: explicitly-passed live flag (rejected) from an omitted one.
-_LIVE_DEFAULTS = {"host": "127.0.0.1", "flow_port": 2055, "dns_port": 8053}
-
-
 def _add_live_options(p, default_duration: float) -> None:
-    """The socket-session options `serve` and live `capture` share."""
+    """The socket-session options `serve` and live `capture` share.
+
+    Every flag keeps a ``None`` default: :meth:`EngineConfig.from_args`
+    owns both the effective defaults and presence-based rejection (e.g.
+    live flags under ``capture --scenario``).
+    """
     p.add_argument("--host", default=None,
-                   help=f"bind address (default: {_LIVE_DEFAULTS['host']})")
+                   help=f"bind address (default: {DEFAULT_LIVE_HOST})")
     p.add_argument("--flow-port", type=int, default=None,
                    help="UDP port for NetFlow/IPFIX exports "
-                        f"(default: {_LIVE_DEFAULTS['flow_port']}; 0 = ephemeral)")
+                        f"(default: {DEFAULT_FLOW_PORT}; 0 = ephemeral)")
     p.add_argument("--dns-port", type=int, default=None,
                    help="TCP port for length-framed DNS messages "
-                        f"(default: {_LIVE_DEFAULTS['dns_port']}; 0 = ephemeral)")
+                        f"(default: {DEFAULT_DNS_PORT}; 0 = ephemeral)")
     p.add_argument("--duration", type=float, default=None,
                    help="seconds to serve before draining "
                         f"(default: {default_duration:g}; 0 = until Ctrl-C)")
     p.add_argument("--num-split", type=int, default=10)
-    p.set_defaults(_default_duration=default_duration)
-
-
-def _explicit_live_flags(args) -> list:
-    """The live-session flags the user actually passed on this invocation."""
-    return [
-        flag
-        for flag, value in (
-            ("--host", args.host), ("--flow-port", args.flow_port),
-            ("--dns-port", args.dns_port), ("--duration", args.duration),
-        )
-        if value is not None
-    ]
-
-
-def _apply_live_defaults(args) -> None:
-    if args.host is None:
-        args.host = _LIVE_DEFAULTS["host"]
-    if args.flow_port is None:
-        args.flow_port = _LIVE_DEFAULTS["flow_port"]
-    if args.dns_port is None:
-        args.dns_port = _LIVE_DEFAULTS["dns_port"]
-    if args.duration is None:
-        args.duration = args._default_duration
 
 
 def _add_serve(subparsers) -> None:
@@ -296,6 +290,11 @@ def _add_serve(subparsers) -> None:
              "(NetFlow/IPFIX via UDP, DNS via TCP)",
     )
     _add_live_options(p, default_duration=0.0)
+    p.add_argument("--ingest-workers", type=int, default=None,
+                   help="SO_REUSEPORT socket-sharding worker processes for "
+                        "UDP flow ingest (default: 1 = single in-loop "
+                        "socket; >1 runs one receive+decode process per "
+                        "worker)")
     p.add_argument("--output", default=None,
                    help="write correlation TSV to this file (default: discard)")
     p.add_argument("--capture", default=None,
@@ -333,23 +332,42 @@ class _LazyTextFile:
             self._file.close()
 
 
-def _run_live_session(args, sink, capture):
+def _run_live_session(engine_config, sink, capture):
     """Bind the live listeners, serve until stop/duration, return the report.
 
     The one live-session implementation behind ``flowdns serve`` (sink =
     correlation TSV, capture optional) and ``flowdns capture`` (sink
-    discarded, capture required). Raises :class:`_BindFailure` when a
-    listener's port is taken.
+    discarded, capture required). ``engine_config.ingest_workers > 1``
+    swaps the in-loop UDP socket for SO_REUSEPORT socket sharding —
+    N worker processes each running their own receive + decode stack.
+    Raises :class:`_BindFailure` when a listener's port is taken.
     """
     import asyncio
     import signal
 
     from repro.core.async_engine import AsyncEngine, TcpDnsIngest, UdpFlowIngest
 
-    config = FlowDNSConfig(num_split=args.num_split)
-    dns_ingest = TcpDnsIngest(host=args.host, port=args.dns_port, capture=capture)
-    flow_ingest = UdpFlowIngest(host=args.host, port=args.flow_port, capture=capture)
-    engine = AsyncEngine(config, sink=sink)
+    dns_ingest = TcpDnsIngest(
+        host=engine_config.host, port=engine_config.dns_port, capture=capture
+    )
+    if engine_config.ingest_workers > 1:
+        from repro.core.ingest import ReuseportUdpIngest
+
+        flow_ingest = ReuseportUdpIngest(
+            host=engine_config.host,
+            port=engine_config.flow_port,
+            workers=engine_config.ingest_workers,
+            recv_buffer_bytes=engine_config.recv_buffer_bytes,
+        )
+    else:
+        flow_ingest = UdpFlowIngest(
+            host=engine_config.host,
+            port=engine_config.flow_port,
+            capture=capture,
+            recv_buffer_bytes=engine_config.recv_buffer_bytes,
+        )
+    engine = AsyncEngine(engine_config, sink=sink)
+    duration = engine_config.duration
 
     async def serve() -> "object":
         loop = asyncio.get_running_loop()
@@ -375,9 +393,9 @@ def _run_live_session(args, sink, capture):
             loop.add_signal_handler(signal.SIGTERM, engine.request_stop)
         except NotImplementedError:  # pragma: no cover - non-Unix loop
             pass
-        if args.duration > 0:
-            loop.call_later(args.duration, engine.request_stop)
-            print(f"serving for {args.duration:.0f}s ...", file=sys.stderr)
+        if duration > 0:
+            loop.call_later(duration, engine.request_stop)
+            print(f"serving for {duration:.0f}s ...", file=sys.stderr)
         else:
             print("serving until Ctrl-C ...", file=sys.stderr)
         return await run
@@ -390,18 +408,23 @@ def _print_live_summary(report) -> None:
     print(f"flows correlated     : {report.matched_flows:,}/{report.flow_records:,} "
           f"({report.correlation_rate:.1%} of bytes)", file=sys.stderr)
     for name, stats in report.ingest.items():
+        rcvbuf = (
+            f" rcvbuf={format_bytes(stats.recv_buffer_bytes)}"
+            if stats.recv_buffer_bytes
+            else ""
+        )
         print(f"  {name}: received={stats.received:,} dropped={stats.dropped:,} "
-              f"malformed={stats.malformed:,}", file=sys.stderr)
+              f"malformed={stats.malformed:,}{rcvbuf}", file=sys.stderr)
     for warning in report.warnings:
         print(f"warning: {warning}", file=sys.stderr)
 
 
-def _run_live_session_cli(args, sink, capture) -> int:
+def _run_live_session_cli(engine_config, sink, capture) -> int:
     """The shared serve/capture session lifecycle: run, summarize, and
     apply the bind-failure contract (exit 2, capture path untouched,
     clean zero-traffic sessions still leave a valid empty capture)."""
     try:
-        report = _run_live_session(args, sink, capture)
+        report = _run_live_session(engine_config, sink, capture)
         if capture is not None:
             capture.ensure_open()
     except _BindFailure as exc:
@@ -419,10 +442,12 @@ def _run_live_session_cli(args, sink, capture) -> int:
 def cmd_serve(args) -> int:
     from repro.replay.capture import CaptureWriter
 
-    _apply_live_defaults(args)
+    engine_config, rc = _engine_config(args, "serve")
+    if rc:
+        return rc
     sink = _LazyTextFile(args.output) if args.output else None
     capture = CaptureWriter(args.capture) if args.capture else None
-    rc = _run_live_session_cli(args, sink, capture)
+    rc = _run_live_session_cli(engine_config, sink, capture)
     if rc:
         return rc
     if args.output:
@@ -445,8 +470,9 @@ def _add_capture(subparsers) -> None:
     p.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
                    help="synthesize this scenario instead of recording live "
                         "sockets")
-    p.add_argument("--seed", type=int, default=GOLDEN_SEED,
-                   help="scenario seed (golden corpus uses the default)")
+    p.add_argument("--seed", type=int, default=None,
+                   help=f"scenario seed (default: {GOLDEN_SEED}, the golden "
+                        "corpus seed)")
     _add_live_options(p, default_duration=60.0)
     p.set_defaults(func=cmd_capture)
 
@@ -455,26 +481,19 @@ def cmd_capture(args) -> int:
     from repro.replay.capture import CaptureWriter
     from repro.replay.scenarios import GOLDEN_SEED, write_scenario
 
-    # The two modes take disjoint options; a silently-ignored flag means
-    # the user asked for something this run will not do. Presence is
-    # detected via the None sentinels argparse keeps for live flags.
+    # The two modes take disjoint options; EngineConfig.from_args rejects
+    # any explicitly-passed flag the selected mode would ignore.
+    engine_config, rc = _engine_config(args, "capture")
+    if rc:
+        return rc
     if args.scenario is not None:
-        passed = _explicit_live_flags(args)
-        if passed:
-            print(f"{'/'.join(passed)} only appl"
-                  f"{'ies' if len(passed) == 1 else 'y'} to live capture; "
-                  "drop with --scenario", file=sys.stderr)
-            return 2
-        count = write_scenario(args.scenario, args.output, seed=args.seed)
+        seed = args.seed if args.seed is not None else GOLDEN_SEED
+        count = write_scenario(args.scenario, args.output, seed=seed)
         print(f"wrote {args.output} ({count} frames, "
-              f"scenario {args.scenario!r}, seed {args.seed})", file=sys.stderr)
+              f"scenario {args.scenario!r}, seed {seed})", file=sys.stderr)
         return 0
-    if args.seed != GOLDEN_SEED:
-        print("--seed only applies to --scenario synthesis", file=sys.stderr)
-        return 2
-    _apply_live_defaults(args)
     capture = CaptureWriter(args.output)
-    rc = _run_live_session_cli(args, sink=None, capture=capture)
+    rc = _run_live_session_cli(engine_config, sink=None, capture=capture)
     if rc:
         return rc
     print(f"capture written      : {args.output} "
@@ -496,8 +515,9 @@ def _add_replay(subparsers) -> None:
     p.add_argument("--realtime", action="store_true",
                    help="sleep out the recorded inter-arrival gaps instead "
                         "of replaying at max speed")
-    p.add_argument("--speed", type=float, default=1.0,
-                   help="realtime pacing divisor (2.0 = twice as fast)")
+    p.add_argument("--speed", type=float, default=None,
+                   help="realtime pacing divisor (default 1.0; 2.0 = twice "
+                        "as fast; requires --realtime)")
     p.add_argument("--output", default="-",
                    help="output TSV ('-' = stdout)")
     p.add_argument("--num-split", type=int, default=10)
@@ -514,28 +534,11 @@ def cmd_replay(args) -> int:
     from repro.replay.runner import replay_capture
     from repro.util.errors import ConfigError, ParseError
 
-    from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
-
-    # A silently-ignored flag means the user asked for something this
-    # run will not do — reject engine/mode mismatches outright.
-    if args.shards is not None and args.engine != "sharded":
-        print("--shards only applies to --engine sharded", file=sys.stderr)
-        return 2
-    if args.shards is not None and args.shards < 1:
-        print("--shards must be at least 1", file=sys.stderr)
-        return 2
-    if args.fill_timeout != DEFAULT_FILL_TIMEOUT and args.engine != "threaded":
-        print("--fill-timeout only applies to --engine threaded (the other "
-              "engines order DNS before flows without a gate)",
-              file=sys.stderr)
-        return 2
-    if args.speed <= 0:
-        print("--speed must be positive", file=sys.stderr)
-        return 2
-    if args.speed != 1.0 and not args.realtime:
-        print("--speed only applies to --realtime pacing; pass both",
-              file=sys.stderr)
-        return 2
+    # Engine/mode flag mismatches (--shards off sharded, --fill-timeout
+    # off threaded, --speed without --realtime) are rejected here.
+    engine_config, rc = _engine_config(args, "replay")
+    if rc:
+        return rc
     try:
         # Validate before the output sink opens: a bad capture path must
         # not truncate an existing results file on its way to exit 2.
@@ -543,18 +546,14 @@ def cmd_replay(args) -> int:
     except (OSError, ParseError) as exc:
         print(f"cannot replay {args.capture}: {exc}", file=sys.stderr)
         return 2
-    config = FlowDNSConfig(num_split=args.num_split, exact_ttl=args.exact_ttl)
     sink = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
     try:
         report = replay_capture(
             args.capture,
             engine=args.engine,
-            config=config,
+            config=engine_config,
             sink=sink,
-            realtime=args.realtime,
-            speed=args.speed,
-            num_shards=args.shards,
-            fill_timeout=args.fill_timeout,
+            # Pacing/sharding/gating all ride in engine_config.
             # No immediate on_fill_timeout print: the warning lands in
             # report.warnings and the loop below prints it exactly once.
         )

@@ -25,9 +25,10 @@ from repro.core.adapter import (
     load_mapping_file,
 )
 from repro.core.async_engine import AsyncEngine, TcpDnsIngest, UdpFlowIngest
-from repro.core.config import FlowDNSConfig
+from repro.core.config import EngineConfig, FlowDNSConfig
 from repro.core.engine import ThreadedEngine
 from repro.core.flowdns import FlowDNS
+from repro.core.ingest import ReuseportUdpIngest
 from repro.core.monitor import render_engine, render_report
 from repro.core.fillup import FillUpProcessor, FillUpStats
 from repro.core.labeler import ip_label, last_octet_label, name_label
@@ -39,7 +40,9 @@ from repro.core.metrics import (
     IngestStats,
     IntervalCounters,
     IntervalSample,
+    merge_ingest_stats,
 )
+from repro.core.pipeline import is_live_source
 from repro.core.sharded import ShardedEngine
 from repro.core.simulation import SimulationEngine
 from repro.core.storage_adapter import DnsStorage
@@ -61,13 +64,17 @@ from repro.core.writer import (
 __all__ = [
     "FlowDNS",
     "FlowDNSConfig",
+    "EngineConfig",
     "ThreadedEngine",
     "ShardedEngine",
     "AsyncEngine",
     "UdpFlowIngest",
     "TcpDnsIngest",
+    "ReuseportUdpIngest",
     "SimulationEngine",
     "IngestStats",
+    "merge_ingest_stats",
+    "is_live_source",
     "ENGINE_VARIANTS",
     "engine_for",
     "DnsStorage",

@@ -6,10 +6,14 @@ collectors over TCP, continuously, while correlation keeps up in real
 time (Sections 2–3). This engine reproduces that shape inside one
 asyncio event loop:
 
-* a :class:`UdpFlowIngest` binds a datagram endpoint and decodes every
-  export datagram via :meth:`FlowCollector.ingest_columns` straight into
-  columnar :class:`FlowBatch` items — live UDP ingest rides the fast
-  lane, no per-record objects;
+* a :class:`UdpFlowIngest` binds a nonblocking UDP socket registered
+  with the loop via ``add_reader``; one readiness wakeup drains *many*
+  datagrams with ``recv_into`` into a reused buffer (``recvmmsg``-style
+  bulk reads) instead of paying one callback per packet, and the
+  callback does **no decoding** — raw datagrams go straight to the
+  bounded buffer, and the engine's lookup lane batch-decodes them via
+  :meth:`FlowCollector.ingest_columns` exactly like the offline path,
+  so live UDP ingest rides the columnar fast lane off the event loop;
 * a :class:`TcpDnsIngest` runs an asyncio server speaking RFC 1035
   §4.2.2 framing, reassembling messages with :class:`TcpFrameDecoder`
   under arbitrary chunk boundaries and timestamping them on arrival;
@@ -19,7 +23,12 @@ asyncio event loop:
 * plain iterables (records, wire tuples, datagrams, batches) remain
   first-class sources, pumped cooperatively, so the engine also runs
   offline corpora — that is what the parity suite compares against the
-  threaded engine.
+  threaded engine;
+* any object implementing the ingest-source protocol's live hooks
+  (``connect_buffer``/``start``/``stop``; see
+  :mod:`repro.core.pipeline`) can serve as a live source — e.g. the
+  multi-process :class:`repro.core.ingest.ReuseportUdpIngest`, whose
+  workers ship ready-decoded :class:`FlowBatch` items.
 
 The lane bodies are :mod:`repro.core.pipeline`'s :class:`FillLane` and
 :class:`LookupLane`, identical to the threaded and sharded engines';
@@ -40,7 +49,11 @@ import time
 from collections import deque
 from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
 
-from repro.core.config import FlowDNSConfig
+from repro.core.config import (
+    DEFAULT_RECV_BUFFER_BYTES,
+    EngineConfig,
+    FlowDNSConfig,
+)
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import LookUpProcessor
 from repro.core.metrics import EngineReport, IngestStats
@@ -49,6 +62,7 @@ from repro.core.pipeline import (
     LookupLane,
     buffer_loss_rate,
     collect_ingest,
+    is_live_source,
     merge_summaries,
     source_failure_warning,
     stack_summary,
@@ -57,6 +71,7 @@ from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import DiscardSink, WriteWorker
 from repro.dns.tcp import MAX_MESSAGE_SIZE, TcpFrameDecoder
 from repro.netflow.collector import FlowCollector
+from repro.netflow.udp import MAX_DATAGRAM, bind_udp_socket, set_recv_buffer
 from repro.streams.buffer import BufferStats
 from repro.util.errors import ParseError
 
@@ -140,29 +155,27 @@ class AsyncBuffer:
         return len(self._items)
 
 
-class _FlowDatagramProtocol(asyncio.DatagramProtocol):
-    """Datagram endpoint glue: every datagram goes to the ingest."""
-
-    def __init__(self, ingest: "UdpFlowIngest"):
-        self._ingest = ingest
-
-    def datagram_received(self, data: bytes, addr) -> None:
-        self._ingest.on_datagram(data)
-
-    def error_received(self, exc) -> None:  # pragma: no cover - kernel ICMP
-        pass
-
-
 class UdpFlowIngest:
     """Live NetFlow/IPFIX-over-UDP source for the async engine.
 
-    Binds ``(host, port)`` as an asyncio datagram endpoint. Each
-    datagram decodes *in the receive callback* via
-    :meth:`FlowCollector.ingest_columns` — version sniffing, template
-    state, and malformed-input counting included — and the resulting
-    :class:`FlowBatch` is offered to the engine's bounded buffer;
-    overflow drops the batch and counts it in :attr:`ingest_stats`
-    (backpressure by loss, like the paper's collectors under burst).
+    The batched socket layer: ``(host, port)`` is bound as a
+    *nonblocking* UDP socket registered with the event loop through
+    ``add_reader``, and one readiness wakeup drains up to
+    ``max_recv_per_wakeup`` datagrams via ``recv_into`` on a reused
+    buffer — the ``recvmmsg`` shape, minus the syscall CPython does not
+    expose. The receive path does **no decoding**: each raw datagram is
+    offered to the engine's bounded buffer (overflow drops it and counts
+    it in :attr:`ingest_stats` — backpressure by loss, like the paper's
+    collectors under burst), and the engine's lookup lane batch-decodes
+    through :attr:`collector` off the hot callback. Malformed datagrams
+    are therefore charged to :attr:`ingest_stats` *by the lane* at
+    decode time, against the same collector counters as before.
+
+    The achieved kernel receive buffer (``SO_RCVBUF`` after the
+    best-effort request — the kernel clamps to rmem_max) is recorded in
+    ``ingest_stats.recv_buffer_bytes``: export bursts ride out decode
+    latency in that buffer, so when it is silently small (CI hosts),
+    drop diagnostics must show it.
     """
 
     def __init__(
@@ -171,12 +184,16 @@ class UdpFlowIngest:
         port: int = 0,
         collector: Optional[FlowCollector] = None,
         capacity: Optional[int] = None,
-        recv_buffer_bytes: int = 4 << 20,
+        recv_buffer_bytes: int = DEFAULT_RECV_BUFFER_BYTES,
         name: Optional[str] = None,
         capture=None,
+        max_recv_per_wakeup: int = 256,
     ):
         self.host = host
         self.port = port
+        #: The lane-side decoder: the engine builds this source's
+        #: :class:`~repro.core.pipeline.LookupLane` around it, so
+        #: template state and malformed counting live with the source.
         self.collector = collector if collector is not None else FlowCollector()
         #: Overrides the engine's stream_buffer_capacity when set.
         self.capacity = capacity
@@ -184,63 +201,90 @@ class UdpFlowIngest:
         #: datagram is recorded as received, before decode — malformed
         #: input included, so a replay reproduces those counters too.
         self.capture = capture
-        #: Requested SO_RCVBUF: export bursts land in the kernel buffer
-        #: while the loop decodes, so the default is generous (the kernel
-        #: clamps to its rmem_max; best-effort either way).
+        #: Requested SO_RCVBUF (best-effort; see class docstring).
         self.recv_buffer_bytes = recv_buffer_bytes
+        #: Datagrams drained per readiness wakeup. Bounded so a sustained
+        #: flood cannot starve the decode lane sharing the loop.
+        self.max_recv_per_wakeup = max_recv_per_wakeup
         self.ingest_stats = IngestStats(name=name or f"udp[{host}:{port}]")
         self.address: Optional[Tuple[str, int]] = None
         self._buffer: Optional[AsyncBuffer] = None
-        self._transport = None
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._recv_view = memoryview(bytearray(MAX_DATAGRAM))
         self._ready = threading.Event()
 
     def connect_buffer(self, buffer: AsyncBuffer) -> None:
-        """Attach the engine buffer datagrams decode into."""
+        """Attach the engine buffer raw datagrams are offered to."""
         self._buffer = buffer
 
     def on_datagram(self, data: bytes) -> None:
-        """Decode one datagram into the buffer (socket-callback path)."""
+        """Offer one raw datagram to the buffer (no decode here)."""
         stats = self.ingest_stats
         stats.received += 1
         stats.bytes_in += len(data)
         if self.capture is not None:
             self.capture.record_flow(data)
-        collector_stats = self.collector.stats
-        errors_before = collector_stats.malformed + collector_stats.unknown_version
-        batch = self.collector.ingest_columns(data)
-        if collector_stats.malformed + collector_stats.unknown_version > errors_before:
-            stats.malformed += 1
-            return
-        if not len(batch):
-            return  # template-only datagram: session state, nothing to queue
-        if self._buffer.try_put(batch):
+        if self._buffer.try_put(data):
             stats.accepted += 1
         else:
             stats.dropped += 1
 
-    async def start(self, loop: asyncio.AbstractEventLoop) -> None:
-        transport, _protocol = await loop.create_datagram_endpoint(
-            lambda: _FlowDatagramProtocol(self), local_addr=(self.host, self.port)
-        )
-        sock = transport.get_extra_info("socket")
-        if sock is not None and self.recv_buffer_bytes:
+    def _on_readable(self) -> None:
+        """Drain the socket: many ``recv_into`` calls per loop wakeup."""
+        sock = self._sock
+        if sock is None:  # racing close(); the reader is being removed
+            return
+        view = self._recv_view
+        stats = self.ingest_stats
+        buffer = self._buffer
+        capture = self.capture
+        for _ in range(self.max_recv_per_wakeup):
             try:
-                sock.setsockopt(
-                    socket.SOL_SOCKET, socket.SO_RCVBUF, self.recv_buffer_bytes
-                )
-            except OSError:  # pragma: no cover - platform refusal is fine
-                pass
-        self._transport = transport
-        self.address = transport.get_extra_info("sockname")[:2]
+                n = sock.recv_into(view)
+            except (BlockingIOError, InterruptedError):
+                return  # kernel queue drained
+            except OSError:
+                return  # closing under our feet: stop() owns cleanup
+            data = bytes(view[:n])
+            stats.received += 1
+            stats.bytes_in += n
+            if capture is not None:
+                capture.record_flow(data)
+            if buffer.try_put(data):
+                stats.accepted += 1
+            else:
+                stats.dropped += 1
+
+    async def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        sock = bind_udp_socket((self.host, self.port))
+        sock.setblocking(False)
+        self.ingest_stats.recv_buffer_bytes = set_recv_buffer(
+            sock, self.recv_buffer_bytes
+        )
+        self._sock = sock
+        self._loop = loop
+        self.address = sock.getsockname()[:2]
         if self.ingest_stats.name == f"udp[{self.host}:{self.port}]":
             self.ingest_stats.name = f"udp[{self.address[0]}:{self.address[1]}]"
+        loop.add_reader(sock.fileno(), self._on_readable)
         self._ready.set()
 
     async def stop(self) -> None:
-        """Stop receiving; buffered batches still drain through the lane."""
-        if self._transport is not None:
-            self._transport.close()
-            self._transport = None
+        """Stop receiving; buffered datagrams still drain through the lane."""
+        self.close()
+
+    def close(self) -> None:
+        """Idempotent teardown (the ingest-source protocol's close())."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        if self._loop is not None:
+            try:
+                self._loop.remove_reader(sock.fileno())
+            except (RuntimeError, ValueError, OSError):
+                pass  # loop already closed; nothing left to wake
+        sock.close()
 
     def wait_ready(self, timeout: float = 10.0) -> Tuple[str, int]:
         """Block (from another thread) until bound; returns the address."""
@@ -369,13 +413,29 @@ class TcpDnsIngest:
         if self._handler_tasks:
             await asyncio.gather(*list(self._handler_tasks), return_exceptions=True)
 
+    def close(self) -> None:
+        """Idempotent teardown (the ingest-source protocol's close()).
+
+        Best-effort from outside the loop: closes the listening server
+        socket. The graceful in-loop path — which also awaits live
+        connection handlers — is ``await stop()``.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        for writer in list(self._connections):
+            writer.close()
+
     def wait_ready(self, timeout: float = 10.0) -> Tuple[str, int]:
         if not self._ready.wait(timeout):
             raise TimeoutError("TCP ingest did not start in time")
         return self.address
 
 
-#: Source types the engine treats as live socket listeners.
+#: The built-in live socket listeners (kept for import compatibility;
+#: the engine itself duck-types via
+#: :func:`repro.core.pipeline.is_live_source`, so any object with the
+#: protocol's live hooks — e.g. ReuseportUdpIngest — works as a source).
 LIVE_INGEST_TYPES = (UdpFlowIngest, TcpDnsIngest)
 
 
@@ -393,10 +453,11 @@ class AsyncEngine:
 
     def __init__(
         self,
-        config: Optional[FlowDNSConfig] = None,
+        config: "Optional[FlowDNSConfig | EngineConfig]" = None,
         sink: Optional[TextIO] = None,
     ):
-        self.config = config if config is not None else FlowDNSConfig()
+        self.engine_config = EngineConfig.of(config)
+        self.config = self.engine_config.flowdns
         self.storage = DnsStorage(self.config)
         self.sink = sink if sink is not None else DiscardSink()
         #: Created per run, *after* the live listeners bind: the first
@@ -588,7 +649,7 @@ class AsyncEngine:
             processor = FillUpProcessor(self.storage)
             self._fillup_processors.append(processor)
             lane = FillLane(processor, self.storage, exact_ttl=cfg.exact_ttl)
-            if isinstance(source, LIVE_INGEST_TYPES):
+            if is_live_source(source):
                 buffer = make_buffer(f"dns[{i}]", source.capacity)
                 source.connect_buffer(buffer)
                 await source.start(loop)
@@ -606,12 +667,24 @@ class AsyncEngine:
         for i, source in enumerate(flow_sources):
             processor = LookUpProcessor(self.storage, cfg)
             self._lookup_processors.append(processor)
-            if isinstance(source, LIVE_INGEST_TYPES):
+            if is_live_source(source):
                 buffer = make_buffer(f"netflow[{i}]", source.capacity)
                 source.connect_buffer(buffer)
                 await source.start(loop)
                 live_ingests.append((source, buffer))
-                lane = LookupLane(processor, source.collector)
+                collector = getattr(source, "collector", None)
+                if collector is not None:
+                    # Off-loop decode: the source buffers *raw* datagrams
+                    # and this lane batch-decodes them through the
+                    # source's collector, charging malformed input to the
+                    # source's ingest stats at decode time.
+                    lane = LookupLane(
+                        processor, collector, ingest_stats=source.ingest_stats
+                    )
+                else:
+                    # Worker-sharded sources ship ready-decoded batches;
+                    # decode accounting already happened in the workers.
+                    lane = LookupLane(processor)
             else:
                 buffer = make_buffer(f"netflow[{i}]", None)
                 flow_finite.append((source, buffer))

@@ -11,12 +11,23 @@ Defaults are the deployed values from the paper:
 
 The ablation flags correspond one-to-one to the paper's benchmark
 variants; :mod:`repro.core.variants` sets them.
+
+:class:`FlowDNSConfig` describes *correlation* behaviour; on top of it,
+:class:`EngineConfig` describes one *deployment* of an engine — shard
+count, fill-gate timeout, live-session bind addresses, socket buffer
+sizing, ingest worker count, capture tap, replay pacing. Every engine
+constructor and :func:`repro.core.variants.engine_for` accept either
+(:meth:`EngineConfig.of` normalises), and the CLI's per-engine flag
+validation is :meth:`EngineConfig.from_args` — presence-based rejection
+of flags that do not apply to the selected engine or mode lives here,
+not in ``cli.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from repro.netflow.records import FlowDirection
 from repro.util.errors import ConfigError
@@ -92,3 +103,186 @@ class FlowDNSConfig:
     def replace(self, **changes) -> "FlowDNSConfig":
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+
+#: Default bound on how long a flow gate waits for the DNS fill before
+#: correlating against a partial store (re-exported by
+#: :mod:`repro.core.pipeline` for its gate helpers).
+DEFAULT_FILL_TIMEOUT = 300.0
+
+#: Live socket-session defaults shared by ``flowdns serve`` and live
+#: ``flowdns capture`` (and by :class:`EngineConfig`'s field defaults).
+DEFAULT_LIVE_HOST = "127.0.0.1"
+DEFAULT_FLOW_PORT = 2055
+DEFAULT_DNS_PORT = 8053
+
+#: Default requested SO_RCVBUF for live UDP flow sockets: export bursts
+#: land in the kernel buffer while the decode lane catches up. The
+#: kernel clamps to rmem_max; the *achieved* size is surfaced in
+#: :attr:`repro.core.metrics.IngestStats.recv_buffer_bytes`.
+DEFAULT_RECV_BUFFER_BYTES = 4 << 20
+
+
+@dataclass
+class EngineConfig:
+    """One engine deployment: a :class:`FlowDNSConfig` plus run wiring.
+
+    The single construction surface for all engines: buffer sizes and
+    correlation parameters ride in :attr:`flowdns`, everything that was
+    previously kwarg sprawl across engine constructors and CLI handlers
+    (``shards``, ``fill_timeout``, capture tap, live bind addresses,
+    socket buffer sizing, ingest worker count, replay pacing) is a field
+    here. Engines accept an ``EngineConfig``, a bare ``FlowDNSConfig``,
+    or ``None`` — :meth:`of` normalises.
+    """
+
+    flowdns: FlowDNSConfig = field(default_factory=FlowDNSConfig)
+    #: Worker processes for the sharded engine (None = CPU count).
+    shards: Optional[int] = None
+    #: Seconds the threaded engine's flow gate waits for the DNS fill.
+    fill_timeout: float = DEFAULT_FILL_TIMEOUT
+    #: SO_REUSEPORT socket-sharding workers for live UDP flow ingest.
+    ingest_workers: int = 1
+    #: Optional :class:`repro.replay.capture.CaptureWriter` tee for live
+    #: sources (every received wire unit recorded pre-decode).
+    capture: Optional[object] = None
+    # --- live session wiring (serve / live capture) ---------------------
+    host: str = DEFAULT_LIVE_HOST
+    flow_port: int = DEFAULT_FLOW_PORT
+    dns_port: int = DEFAULT_DNS_PORT
+    #: Seconds to serve before draining; 0 = until stop is requested.
+    duration: float = 0.0
+    #: Requested SO_RCVBUF for live UDP flow sockets (best-effort).
+    recv_buffer_bytes: int = DEFAULT_RECV_BUFFER_BYTES
+    # --- replay pacing --------------------------------------------------
+    realtime: bool = False
+    speed: float = 1.0
+
+    def __post_init__(self):
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError("shards must be at least 1")
+        if self.fill_timeout < 0:
+            raise ConfigError("fill_timeout must be non-negative")
+        if self.ingest_workers < 1:
+            raise ConfigError("ingest_workers must be at least 1")
+        if self.duration < 0:
+            raise ConfigError("duration must be non-negative")
+        if self.recv_buffer_bytes < 0:
+            raise ConfigError("recv_buffer_bytes must be non-negative")
+        if self.speed <= 0:
+            raise ConfigError("speed must be positive")
+
+    @classmethod
+    def of(
+        cls, config: Union["EngineConfig", FlowDNSConfig, None]
+    ) -> "EngineConfig":
+        """Normalise what engine constructors accept into an EngineConfig."""
+        if config is None:
+            return cls()
+        if isinstance(config, FlowDNSConfig):
+            return cls(flowdns=config)
+        return config
+
+    def replace(self, **changes) -> "EngineConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # --- CLI flag interpretation ----------------------------------------
+
+    @classmethod
+    def from_args(cls, args, command: str) -> "EngineConfig":
+        """Build an EngineConfig from a parsed CLI namespace, validating
+        per-engine/per-mode flag applicability.
+
+        ``argparse`` keeps ``None`` defaults for every flag whose
+        *presence* matters, so this layer — not the CLI — decides what an
+        omitted flag means and rejects explicitly-passed flags the
+        selected engine or mode would silently ignore. Raises
+        :class:`ConfigError` with the operator-facing message; the CLI
+        prints it and exits 2.
+        """
+        engine = "async" if command in ("serve", "capture") else getattr(
+            args, "engine", None
+        )
+        shards = getattr(args, "shards", None)
+        if shards is not None:
+            if engine != "sharded":
+                raise ConfigError("--shards only applies to --engine sharded")
+            if shards < 1:
+                raise ConfigError("--shards must be at least 1")
+        fill_timeout = getattr(args, "fill_timeout", None)
+        if fill_timeout is not None and engine != "threaded":
+            raise ConfigError(
+                "--fill-timeout only applies to --engine threaded (the other "
+                "engines order DNS before flows without a gate)"
+            )
+        speed = getattr(args, "speed", None)
+        realtime = bool(getattr(args, "realtime", False))
+        if speed is not None:
+            if speed <= 0:
+                raise ConfigError("--speed must be positive")
+            if not realtime:
+                raise ConfigError(
+                    "--speed only applies to --realtime pacing; pass both"
+                )
+        ingest_workers = getattr(args, "ingest_workers", None)
+        if ingest_workers is not None:
+            if ingest_workers < 1:
+                raise ConfigError("--ingest-workers must be at least 1")
+            if getattr(args, "capture", None):
+                raise ConfigError(
+                    "--capture cannot tee --ingest-workers: sharded sockets "
+                    "receive in worker processes the capture writer cannot see"
+                )
+        if command == "capture":
+            cls._validate_capture_mode(args)
+        flowdns = FlowDNSConfig(
+            num_split=getattr(args, "num_split", DEFAULT_NUM_SPLIT),
+            exact_ttl=bool(getattr(args, "exact_ttl", False)),
+        )
+        host = getattr(args, "host", None)
+        flow_port = getattr(args, "flow_port", None)
+        dns_port = getattr(args, "dns_port", None)
+        duration = getattr(args, "duration", None)
+        return cls(
+            flowdns=flowdns,
+            shards=shards,
+            fill_timeout=(
+                fill_timeout if fill_timeout is not None else DEFAULT_FILL_TIMEOUT
+            ),
+            ingest_workers=ingest_workers if ingest_workers is not None else 1,
+            host=host if host is not None else DEFAULT_LIVE_HOST,
+            flow_port=flow_port if flow_port is not None else DEFAULT_FLOW_PORT,
+            dns_port=dns_port if dns_port is not None else DEFAULT_DNS_PORT,
+            duration=(
+                duration
+                if duration is not None
+                else (60.0 if command == "capture" else 0.0)
+            ),
+            realtime=realtime,
+            speed=speed if speed is not None else 1.0,
+        )
+
+    @staticmethod
+    def _validate_capture_mode(args) -> None:
+        """``flowdns capture``'s two modes take disjoint options; an
+        explicitly-passed flag the selected mode ignores is a mistake."""
+        if getattr(args, "scenario", None) is not None:
+            passed = [
+                flag
+                for flag, value in (
+                    ("--host", getattr(args, "host", None)),
+                    ("--flow-port", getattr(args, "flow_port", None)),
+                    ("--dns-port", getattr(args, "dns_port", None)),
+                    ("--duration", getattr(args, "duration", None)),
+                )
+                if value is not None
+            ]
+            if passed:
+                raise ConfigError(
+                    f"{'/'.join(passed)} only appl"
+                    f"{'ies' if len(passed) == 1 else 'y'} to live capture; "
+                    "drop with --scenario"
+                )
+        elif getattr(args, "seed", None) is not None:
+            raise ConfigError("--seed only applies to --scenario synthesis")

@@ -40,7 +40,7 @@ import threading
 import time
 from typing import Iterable, List, Optional, Sequence, TextIO
 
-from repro.core.config import FlowDNSConfig
+from repro.core.config import EngineConfig, FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import CorrelationBatch, LookUpProcessor
 from repro.core.metrics import EngineReport
@@ -72,10 +72,14 @@ class ThreadedEngine:
 
     def __init__(
         self,
-        config: Optional[FlowDNSConfig] = None,
+        config: Optional[FlowDNSConfig | EngineConfig] = None,
         sink: Optional[TextIO] = None,
     ):
-        self.config = config if config is not None else FlowDNSConfig()
+        # Accepts either a bare FlowDNSConfig (correlator knobs only) or
+        # a full EngineConfig (runtime knobs too) — EngineConfig.of
+        # normalises so embedders and the CLI construct engines uniformly.
+        self.engine_config = EngineConfig.of(config)
+        self.config = self.engine_config.flowdns
         self.storage = DnsStorage(self.config)
         self.sink = sink if sink is not None else DiscardSink()
         self._fillup_processors: List[FillUpProcessor] = []

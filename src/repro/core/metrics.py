@@ -231,11 +231,39 @@ class IngestStats:
     #: Wire units that failed to decode/frame (counted, never raised).
     malformed: int = 0
     bytes_in: int = 0
+    #: The *achieved* kernel receive buffer (``getsockopt(SO_RCVBUF)``
+    #: after the best-effort ``setsockopt``): the kernel silently clamps
+    #: requests to rmem_max, and an undersized buffer is the usual cause
+    #: of burst drops on CI hosts — it must be visible in the report, not
+    #: guessed from the request. 0 for sources without a socket.
+    recv_buffer_bytes: int = 0
 
     @property
     def loss_rate(self) -> float:
         """Fraction of received wire units that were dropped."""
         return self.dropped / self.received if self.received else 0.0
+
+
+def merge_ingest_stats(name: str, parts) -> "IngestStats":
+    """Fold per-worker :class:`IngestStats` into one source-level view.
+
+    Counters sum; ``recv_buffer_bytes`` takes the *minimum* non-zero
+    achieved size — the most pessimistic worker bounds the burst the
+    sharded socket set can absorb, which is the number an operator
+    diagnosing drops needs.
+    """
+    merged = IngestStats(name=name)
+    buffers = []
+    for part in parts:
+        merged.received += part.received
+        merged.accepted += part.accepted
+        merged.dropped += part.dropped
+        merged.malformed += part.malformed
+        merged.bytes_in += part.bytes_in
+        if part.recv_buffer_bytes:
+            buffers.append(part.recv_buffer_bytes)
+    merged.recv_buffer_bytes = min(buffers) if buffers else 0
+    return merged
 
 
 @dataclass

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.core.config import DEFAULT_FILL_TIMEOUT  # noqa: F401 - re-export
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import CorrelationBatch, LookUpProcessor
 from repro.core.metrics import EngineReport, IngestStats
@@ -39,12 +40,44 @@ from repro.netflow.records import FlowBatch, FlowRecord
 POP_TIMEOUT = 0.1
 
 
-# --- flow gating ------------------------------------------------------------
+# --- the ingest-source protocol ---------------------------------------------
+#
+# Every socket- or capture-fed stream source — :class:`repro.netflow.udp
+# .UdpFlowSource`, :class:`repro.replay.source.ReplaySource`, the async
+# engine's :class:`~repro.core.async_engine.UdpFlowIngest` /
+# :class:`~repro.core.async_engine.TcpDnsIngest`, and the multi-process
+# :class:`~repro.core.ingest.ReuseportUdpIngest` — implements one
+# protocol, so engines and the capture tee never special-case types:
+#
+# * ``ingest_stats`` — an :class:`IngestStats` of what arrived off the
+#   wire, what reached the pipeline, and what was dropped or malformed;
+#   :func:`collect_ingest` surfaces it under ``EngineReport.ingest``.
+# * ``capture=`` — constructors accept an optional
+#   :class:`repro.replay.capture.CaptureWriter`; every received wire
+#   unit is recorded *pre-decode* (malformed input included) so a replay
+#   reproduces the same counters.
+# * ``close()`` — idempotent teardown; a closed source's iteration ends
+#   and its sockets/processes are released. Iterating after close is
+#   safe and yields nothing.
+# * optional ``ingest_errors`` — strings describing partial-ingest
+#   failures (e.g. a dead worker process); :func:`collect_ingest` folds
+#   them into ``EngineReport.warnings`` so a degraded run warns instead
+#   of failing silently.
+#
+# Sources that can feed the asyncio engine *live* (rather than being
+# pumped as finite iterables) additionally implement the live hooks
+# ``connect_buffer(buffer)``, ``await start(loop)`` and ``await stop()``
+# — :func:`is_live_source` duck-types on those.
 
-#: Default bound on how long the flow gate waits for the DNS fill
-#: before correlating against a partial store (the CLI's --fill-timeout
-#: default, shared by offline correlate and capture replay).
-DEFAULT_FILL_TIMEOUT = 300.0
+
+def is_live_source(source) -> bool:
+    """True for sources implementing the live asyncio ingest hooks."""
+    return callable(getattr(source, "connect_buffer", None)) and callable(
+        getattr(source, "start", None)
+    )
+
+
+# --- flow gating ------------------------------------------------------------
 
 
 def gated_flow_source(
@@ -200,13 +233,22 @@ class LookupLane:
     ``process``/``correlate_batch`` for parity tooling.
     """
 
-    __slots__ = ("processor", "collector")
+    __slots__ = ("processor", "collector", "ingest_stats")
 
     def __init__(
-        self, processor: LookUpProcessor, collector: Optional[FlowCollector] = None
+        self,
+        processor: LookUpProcessor,
+        collector: Optional[FlowCollector] = None,
+        ingest_stats: Optional[IngestStats] = None,
     ):
         self.processor = processor
         self.collector = collector if collector is not None else FlowCollector()
+        #: When a live source defers datagram decode to this lane (the
+        #: off-loop batched path), its per-source stats ride along so the
+        #: malformed-input count lands where operators look for it —
+        #: decode moved off the socket callback, the accounting must not
+        #: move with it.
+        self.ingest_stats = ingest_stats
 
     def correlate_batch(self, batch: FlowBatch) -> Optional[CorrelationBatch]:
         """Correlate one columnar batch; None when it is empty."""
@@ -216,7 +258,15 @@ class LookupLane:
 
     def correlate_items(self, items: Iterable) -> Optional[CorrelationBatch]:
         """Accumulate one wake-up's items into a batch and correlate it."""
-        return self.correlate_batch(flow_items_to_batch(items, self.collector))
+        if self.ingest_stats is None:
+            return self.correlate_batch(flow_items_to_batch(items, self.collector))
+        cstats = self.collector.stats
+        errors_before = cstats.malformed + cstats.unknown_version
+        batch = flow_items_to_batch(items, self.collector)
+        self.ingest_stats.malformed += (
+            cstats.malformed + cstats.unknown_version - errors_before
+        )
+        return self.correlate_batch(batch)
 
 
 # --- drain loop -------------------------------------------------------------
@@ -265,19 +315,22 @@ def collect_ingest(report: EngineReport, sources: Iterable) -> None:
     """Attach per-source ingest counters for socket-fed sources.
 
     Any source exposing an ``ingest_stats`` attribute (an
-    :class:`IngestStats`) — :class:`repro.netflow.udp.UdpFlowSource`, the
-    async engine's socket servers — gets its counters surfaced under
-    :attr:`EngineReport.ingest`, keyed by the stats' name (suffixed on
-    collision so two unnamed sources don't shadow each other).
+    :class:`IngestStats`, per the ingest-source protocol above) gets its
+    counters surfaced under :attr:`EngineReport.ingest`, keyed by the
+    stats' name (suffixed on collision so two unnamed sources don't
+    shadow each other). A source's ``ingest_errors`` strings — partial
+    failures like a dead worker process — fold into
+    :attr:`EngineReport.warnings`.
     """
     for source in sources:
         stats = getattr(source, "ingest_stats", None)
-        if not isinstance(stats, IngestStats):
-            continue
-        key = stats.name
-        if key in report.ingest:
-            key = f"{key}#{len(report.ingest)}"
-        report.ingest[key] = stats
+        if isinstance(stats, IngestStats):
+            key = stats.name
+            if key in report.ingest:
+                key = f"{key}#{len(report.ingest)}"
+            report.ingest[key] = stats
+        for error in getattr(source, "ingest_errors", ()):
+            report.warnings.append(str(error))
 
 
 # --- report assembly --------------------------------------------------------

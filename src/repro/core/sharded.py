@@ -47,7 +47,7 @@ import queue as queue_mod
 import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
-from repro.core.config import FlowDNSConfig
+from repro.core.config import EngineConfig, FlowDNSConfig
 from repro.core.fillup import FillUpProcessor
 from repro.core.labeler import ip_label
 from repro.core.lookup import LookUpProcessor
@@ -190,12 +190,17 @@ class ShardedEngine:
 
     def __init__(
         self,
-        config: Optional[FlowDNSConfig] = None,
+        config: Optional[FlowDNSConfig | EngineConfig] = None,
         sink: Optional[TextIO] = None,
         num_shards: Optional[int] = None,
     ):
-        self.config = config if config is not None else FlowDNSConfig()
+        self.engine_config = EngineConfig.of(config)
+        self.config = self.engine_config.flowdns
         self.sink = sink
+        # Explicit num_shards wins over the config's; neither → one shard
+        # per core, the paper's deployment default.
+        if num_shards is None:
+            num_shards = self.engine_config.shards
         shards = num_shards if num_shards is not None else mp.cpu_count()
         if shards < 1:
             raise ConfigError("num_shards must be at least 1")

@@ -18,7 +18,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable, List, Optional
 
-from repro.core.config import FlowDNSConfig
+from repro.core.config import EngineConfig, FlowDNSConfig
 
 
 class Variant(Enum):
@@ -66,32 +66,36 @@ ENGINE_VARIANTS = {
 
 def engine_for(
     name: str,
-    config: Optional[FlowDNSConfig] = None,
+    config: Optional[FlowDNSConfig | EngineConfig] = None,
     sink=None,
     num_shards: Optional[int] = None,
 ):
     """Instantiate an engine variant by registry name.
 
-    Note the run() signatures differ: ``simulation`` consumes flat record
-    iterables; ``threaded``/``sharded`` consume sequences of sources.
+    ``config`` may be a bare :class:`FlowDNSConfig` (correlator knobs
+    only) or a full :class:`EngineConfig` (runtime knobs too); every
+    engine normalises via :meth:`EngineConfig.of`. ``num_shards`` is a
+    back-compat override for ``EngineConfig.shards``. Note the run()
+    signatures differ: ``simulation`` consumes flat record iterables;
+    ``threaded``/``sharded`` consume sequences of sources.
     """
-    config = config if config is not None else FlowDNSConfig()
+    engine_config = EngineConfig.of(config)
     if name == "simulation":
         from repro.core.simulation import SimulationEngine
 
-        return SimulationEngine(config, sink=sink)
+        return SimulationEngine(engine_config.flowdns, sink=sink)
     if name == "threaded":
         from repro.core.engine import ThreadedEngine
 
-        return ThreadedEngine(config, sink=sink)
+        return ThreadedEngine(engine_config, sink=sink)
     if name == "sharded":
         from repro.core.sharded import ShardedEngine
 
-        return ShardedEngine(config, sink=sink, num_shards=num_shards)
+        return ShardedEngine(engine_config, sink=sink, num_shards=num_shards)
     if name == "async":
         from repro.core.async_engine import AsyncEngine
 
-        return AsyncEngine(config, sink=sink)
+        return AsyncEngine(engine_config, sink=sink)
     raise ValueError(f"unknown engine {name!r}; known: {sorted(ENGINE_VARIANTS)}")
 
 

@@ -105,3 +105,16 @@ class FlowCollector:
             return FlowBatch()
         self.stats.note(version, len(batch))
         return batch
+
+    def ingest_columns_many(self, datagrams) -> FlowBatch:
+        """Decode a burst of datagrams into one accumulated FlowBatch.
+
+        The bulk shape the batched socket layers drain in: N raw
+        datagrams in, one columnar batch out, with the usual per-datagram
+        session state and malformed/unknown-version counting. Callers
+        that need a malformed delta snapshot ``stats`` around the call.
+        """
+        batch = FlowBatch()
+        for datagram in datagrams:
+            batch.extend(self.ingest_columns(datagram))
+        return batch

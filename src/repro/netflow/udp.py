@@ -36,13 +36,21 @@ from repro.util.errors import ConfigError
 MAX_DATAGRAM = 65535
 
 
-def _bind_udp_socket(bind_addr: Tuple[str, int]) -> socket.socket:
+def bind_udp_socket(
+    bind_addr: Tuple[str, int], reuseport: bool = False
+) -> socket.socket:
     """Bind a UDP socket for the given address, any family.
 
     The family comes from ``getaddrinfo`` so IPv6 literals ("::1") work
     as naturally as IPv4. Binding an IPv6 wildcard ("::") clears
     ``IPV6_V6ONLY`` where the platform allows, giving one dual-stack
     socket that receives exporters over both families.
+
+    ``reuseport=True`` sets ``SO_REUSEPORT`` before binding, so several
+    sockets (across processes) can share one port and the kernel load-
+    balances datagrams between them by flow hash — the socket-sharding
+    mechanism :class:`repro.core.ingest.ReuseportUdpIngest` builds on.
+    Raises :class:`ConfigError` where the platform has no SO_REUSEPORT.
     """
     host, port = bind_addr
     infos = socket.getaddrinfo(
@@ -53,6 +61,14 @@ def _bind_udp_socket(bind_addr: Tuple[str, int]) -> socket.socket:
     family, _type, proto, _canon, sockaddr = infos[0]
     sock = socket.socket(family, socket.SOCK_DGRAM, proto)
     try:
+        if reuseport:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+                sock.close()
+                raise ConfigError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "multi-worker UDP ingest requires it"
+                )
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         if family == socket.AF_INET6 and host in ("::", ""):
             try:
                 sock.setsockopt(socket.IPPROTO_IPV6, socket.IPV6_V6ONLY, 0)
@@ -65,6 +81,30 @@ def _bind_udp_socket(bind_addr: Tuple[str, int]) -> socket.socket:
     return sock
 
 
+#: Backwards-compatible alias (pre-PR6 private name).
+_bind_udp_socket = bind_udp_socket
+
+
+def set_recv_buffer(sock: socket.socket, requested: int) -> int:
+    """Best-effort SO_RCVBUF sizing; returns the *achieved* size.
+
+    The kernel silently clamps the request to rmem_max (and on Linux
+    reports double the usable payload), so callers record the achieved
+    value — :attr:`repro.core.metrics.IngestStats.recv_buffer_bytes` —
+    rather than trusting the request. Returns 0 when the platform
+    exposes neither the setter nor the getter.
+    """
+    if requested:
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, requested)
+        except OSError:  # pragma: no cover - platform refusal is fine
+            pass
+    try:
+        return sock.getsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF)
+    except OSError:  # pragma: no cover - platform without the getter
+        return 0
+
+
 class UdpFlowSource:
     """Iterable of columnar flow batches decoded from UDP export datagrams."""
 
@@ -75,19 +115,25 @@ class UdpFlowSource:
         recv_timeout: float = 0.2,
         yield_records: bool = False,
         capture=None,
+        recv_buffer_bytes: int = 0,
     ):
         self.collector = collector if collector is not None else FlowCollector()
         self.yield_records = yield_records
         #: Optional :class:`repro.replay.capture.CaptureWriter` tee: every
         #: received datagram is recorded pre-decode (malformed included).
         self.capture = capture
-        self._sock = _bind_udp_socket(bind_addr)
+        self._sock = bind_udp_socket(bind_addr)
         self._sock.settimeout(recv_timeout)
         # Snapshot the bound address: stop() closes the socket, and a
         # stopped source must still report where it was listening.
         self._address = self._sock.getsockname()[:2]
         self._stopped = False
         self.ingest_stats = IngestStats(name=f"udp[{self._address[0]}:{self._address[1]}]")
+        # Achieved SO_RCVBUF is always recorded (0 requests nothing but
+        # still reports the kernel default) — drop diagnostics need it.
+        self.ingest_stats.recv_buffer_bytes = set_recv_buffer(
+            self._sock, recv_buffer_bytes
+        )
 
     @property
     def address(self) -> Tuple[str, int]:

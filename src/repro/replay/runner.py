@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TextIO
 
-from repro.core.config import FlowDNSConfig
+from repro.core.config import EngineConfig, FlowDNSConfig
 from repro.core.metrics import EngineReport
 from repro.core.pipeline import (  # noqa: F401 - re-exported replay API
     DEFAULT_FILL_TIMEOUT,
@@ -40,15 +40,20 @@ REPLAY_ENGINES = ("threaded", "sharded", "async")
 def replay_capture(
     capture: CaptureLike,
     engine: str = "threaded",
-    config: Optional[FlowDNSConfig] = None,
+    config: Optional[FlowDNSConfig | EngineConfig] = None,
     sink: Optional[TextIO] = None,
-    realtime: bool = False,
-    speed: float = 1.0,
+    realtime: Optional[bool] = None,
+    speed: Optional[float] = None,
     num_shards: Optional[int] = None,
-    fill_timeout: float = DEFAULT_FILL_TIMEOUT,
+    fill_timeout: Optional[float] = None,
     on_fill_timeout=None,
 ) -> EngineReport:
     """Replay a capture (path or frames) through one engine; returns its report.
+
+    ``config`` may be a full :class:`EngineConfig`, in which case its
+    ``shards``/``fill_timeout``/``realtime``/``speed`` fields are the
+    defaults and the explicit keyword arguments override them (the
+    keywords keep their pre-EngineConfig behaviour for existing callers).
 
     ``realtime=True`` paces items by the recorded inter-arrival gaps
     (divided by ``speed``); the default replays at max speed, which with
@@ -72,8 +77,16 @@ def replay_capture(
         # *truncated* capture still replays: every cleanly-framed item
         # flows through and the failure lands in report.warnings.)
         probe_capture(capture)
-    config = config if config is not None else FlowDNSConfig()
-    instance = engine_for(engine, config=config, sink=sink, num_shards=num_shards)
+    engine_config = EngineConfig.of(config)
+    if realtime is None:
+        realtime = engine_config.realtime
+    if speed is None:
+        speed = engine_config.speed
+    if num_shards is None:
+        num_shards = engine_config.shards
+    if fill_timeout is None:
+        fill_timeout = engine_config.fill_timeout
+    instance = engine_for(engine, config=engine_config, sink=sink, num_shards=num_shards)
     dns_sources, flow_sources = replay_sources(capture, realtime=realtime, speed=speed)
     warnings: List[str] = []
     if engine == "threaded":

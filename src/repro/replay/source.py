@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Iterator, List, Tuple, Union
 
+from repro.core.metrics import IngestStats
 from repro.replay.capture import LANE_DNS, LANE_FLOW, LANES, CaptureFrame, read_capture
 from repro.util.errors import ConfigError
 
@@ -55,6 +56,7 @@ class ReplaySource:
         realtime: bool = False,
         speed: float = 1.0,
         sleep: Callable[[float], None] = time.sleep,
+        capture_tee=None,
     ):
         if lane not in LANES:
             raise ConfigError(f"unknown replay lane {lane!r}; known: {LANES}")
@@ -67,12 +69,28 @@ class ReplaySource:
         self._sleep = sleep
         #: Items yielded by the most recent iteration.
         self.items_replayed = 0
+        #: Ingest-source protocol: a replayed frame is by definition both
+        #: received and accepted (nothing between file and engine drops).
+        self.ingest_stats = IngestStats(name=f"replay[{lane}]")
+        #: Optional CaptureWriter tee — re-recording a replay (protocol
+        #: parity with the live sources; useful for capture round-trips).
+        self.capture = capture_tee
+
+    def close(self) -> None:
+        """Ingest-source protocol close(); nothing to release (no-op)."""
 
     def __iter__(self) -> Iterator:
         dns = self.lane == LANE_DNS
         realtime = self.realtime
         prev_ts = None
+        stats = self.ingest_stats
+        tee = self.capture
         self.items_replayed = 0
+        # Per-run counters, like items_replayed (one source object can
+        # feed several engine runs); the object identity is kept because
+        # collect_ingest reads the attribute after the run.
+        stats.received = stats.accepted = stats.dropped = 0
+        stats.malformed = stats.bytes_in = 0
         for frame in _frames(self._capture):
             if frame.lane != self.lane:
                 continue
@@ -85,6 +103,14 @@ class ReplaySource:
                         self._sleep(gap)
                 prev_ts = frame.ts
             self.items_replayed += 1
+            stats.received += 1
+            stats.accepted += 1
+            stats.bytes_in += len(frame.payload)
+            if tee is not None:
+                if dns:
+                    tee.record_dns(frame.payload, ts=frame.ts)
+                else:
+                    tee.record_flow(frame.payload, ts=frame.ts)
             yield (frame.ts, frame.payload) if dns else frame.payload
 
 

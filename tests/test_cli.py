@@ -148,10 +148,13 @@ class TestCorrelate:
                                     capsys, engine):
         dns, flows = csv_inputs
         output = tmp_path / "out.tsv"
+        # --shards is sharded-only (EngineConfig.from_args rejects it
+        # elsewhere; see TestReplayFlagValidation-style checks below).
+        extra = ["--shards", "2"] if engine == "sharded" else []
         rc = main([
             "correlate", "--dns", dns, "--flows", flows,
             "--mapping", mapping_file, "--output", str(output),
-            "--engine", engine, "--shards", "2",
+            "--engine", engine, *extra,
         ])
         assert rc == 0
         lines = [line for line in output.read_text().splitlines()
@@ -461,16 +464,22 @@ class TestCaptureReplay:
 
 class TestFillTimeout:
     def test_flag_parses_with_default(self):
+        # argparse keeps None (presence sentinel); the effective default
+        # is EngineConfig's, applied by from_args.
         args = build_parser().parse_args([
             "correlate", "--dns", "d", "--flows", "f", "--mapping", "m",
         ])
-        from repro.core.pipeline import DEFAULT_FILL_TIMEOUT
+        from repro.core.config import DEFAULT_FILL_TIMEOUT, EngineConfig
 
-        assert args.fill_timeout == DEFAULT_FILL_TIMEOUT
+        assert args.fill_timeout is None
+        assert EngineConfig.from_args(
+            args, "correlate"
+        ).fill_timeout == DEFAULT_FILL_TIMEOUT
         args = build_parser().parse_args([
-            "replay", "x.fdc", "--fill-timeout", "7.5",
+            "replay", "x.fdc", "--engine", "threaded", "--fill-timeout", "7.5",
         ])
         assert args.fill_timeout == 7.5
+        assert EngineConfig.from_args(args, "replay").fill_timeout == 7.5
 
     def test_gate_timeout_lands_in_report_warnings(self, capsys):
         """A timed-out fill gate is recorded on the report (and printed),

@@ -1,0 +1,192 @@
+"""EngineConfig: construction, normalisation, and CLI flag interpretation.
+
+The PR-6 API contract: every engine constructor accepts an EngineConfig
+(or a bare FlowDNSConfig, or None), and *all* per-engine CLI flag
+validation lives in ``EngineConfig.from_args`` — presence-based, with no
+sentinel machinery left in ``cli.py``.
+"""
+
+import argparse
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_FILL_TIMEOUT,
+    DEFAULT_FLOW_PORT,
+    DEFAULT_LIVE_HOST,
+    EngineConfig,
+    FlowDNSConfig,
+)
+from repro.util.errors import ConfigError
+
+
+def ns(**kw):
+    """An argparse-like namespace with None for anything unset."""
+    return argparse.Namespace(**kw)
+
+
+class TestOf:
+    def test_none_gives_defaults(self):
+        ec = EngineConfig.of(None)
+        assert isinstance(ec.flowdns, FlowDNSConfig)
+        assert ec.shards is None
+        assert ec.fill_timeout == DEFAULT_FILL_TIMEOUT
+        assert ec.ingest_workers == 1
+
+    def test_flowdns_config_is_wrapped(self):
+        fc = FlowDNSConfig(num_split=3)
+        ec = EngineConfig.of(fc)
+        assert ec.flowdns is fc
+
+    def test_engine_config_passes_through(self):
+        ec = EngineConfig(shards=2)
+        assert EngineConfig.of(ec) is ec
+
+    def test_replace_returns_modified_copy(self):
+        ec = EngineConfig()
+        ec2 = ec.replace(ingest_workers=4)
+        assert ec2.ingest_workers == 4
+        assert ec.ingest_workers == 1
+
+    @pytest.mark.parametrize("kw", [
+        {"shards": 0},
+        {"fill_timeout": -1.0},
+        {"ingest_workers": 0},
+        {"duration": -1.0},
+        {"recv_buffer_bytes": -1},
+        {"speed": 0.0},
+    ])
+    def test_invalid_fields_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            EngineConfig(**kw)
+
+
+class TestEnginesAcceptEngineConfig:
+    """All three live engine constructors take EngineConfig directly."""
+
+    def test_threaded(self):
+        from repro.core.engine import ThreadedEngine
+
+        ec = EngineConfig(flowdns=FlowDNSConfig(num_split=4))
+        engine = ThreadedEngine(ec)
+        assert engine.engine_config is ec
+        assert engine.config.num_split == 4
+
+    def test_sharded_shards_come_from_config(self):
+        from repro.core.sharded import ShardedEngine
+
+        engine = ShardedEngine(EngineConfig(shards=3))
+        assert engine.num_shards == 3
+        # An explicit num_shards kwarg still wins over the config field.
+        engine = ShardedEngine(EngineConfig(shards=3), num_shards=2)
+        assert engine.num_shards == 2
+
+    def test_async(self):
+        from repro.core.async_engine import AsyncEngine
+
+        ec = EngineConfig(flowdns=FlowDNSConfig(num_split=5))
+        engine = AsyncEngine(ec)
+        assert engine.engine_config is ec
+        assert engine.config.num_split == 5
+
+    @pytest.mark.parametrize("name", ["simulation", "threaded", "sharded", "async"])
+    def test_engine_for_normalises(self, name):
+        from repro.core.variants import engine_for
+
+        engine = engine_for(name, config=EngineConfig(flowdns=FlowDNSConfig(
+            num_split=7), shards=1))
+        assert engine.config.num_split == 7
+
+    def test_bare_flowdns_config_still_works(self):
+        from repro.core.engine import ThreadedEngine
+
+        fc = FlowDNSConfig(num_split=2)
+        engine = ThreadedEngine(fc)
+        assert engine.config is fc
+        assert engine.engine_config.flowdns is fc
+
+
+class TestFromArgs:
+    """The CLI flag matrix, exercised without argparse."""
+
+    def _live_ns(self, **kw):
+        base = dict(host=None, flow_port=None, dns_port=None, duration=None,
+                    num_split=10, ingest_workers=None, capture=None)
+        base.update(kw)
+        return ns(**base)
+
+    def test_serve_defaults(self):
+        ec = EngineConfig.from_args(self._live_ns(), "serve")
+        assert ec.host == DEFAULT_LIVE_HOST
+        assert ec.flow_port == DEFAULT_FLOW_PORT
+        assert ec.duration == 0.0
+        assert ec.ingest_workers == 1
+
+    def test_capture_default_duration_is_bounded(self):
+        ec = EngineConfig.from_args(
+            self._live_ns(scenario=None, seed=None), "capture"
+        )
+        assert ec.duration == 60.0
+
+    def test_shards_rejected_off_sharded_engine(self):
+        args = ns(engine="threaded", shards=2, num_split=10)
+        with pytest.raises(ConfigError, match="--shards only applies"):
+            EngineConfig.from_args(args, "replay")
+
+    def test_shards_accepted_on_sharded_engine(self):
+        args = ns(engine="sharded", shards=2, num_split=10)
+        assert EngineConfig.from_args(args, "replay").shards == 2
+
+    def test_shards_lower_bound(self):
+        args = ns(engine="sharded", shards=0, num_split=10)
+        with pytest.raises(ConfigError, match="at least 1"):
+            EngineConfig.from_args(args, "replay")
+
+    def test_fill_timeout_rejected_off_threaded_engine(self):
+        args = ns(engine="async", fill_timeout=5.0, num_split=10)
+        with pytest.raises(ConfigError, match="--fill-timeout only applies"):
+            EngineConfig.from_args(args, "replay")
+
+    def test_fill_timeout_accepted_on_threaded_engine(self):
+        args = ns(engine="threaded", fill_timeout=5.0, num_split=10)
+        assert EngineConfig.from_args(args, "replay").fill_timeout == 5.0
+
+    def test_speed_requires_realtime_even_at_default_value(self):
+        # Presence-based: --speed 1.0 without --realtime is still an
+        # explicitly-passed flag the run would ignore.
+        args = ns(engine="threaded", speed=1.0, realtime=False, num_split=10)
+        with pytest.raises(ConfigError, match="--realtime"):
+            EngineConfig.from_args(args, "replay")
+
+    def test_speed_with_realtime_accepted(self):
+        args = ns(engine="threaded", speed=2.0, realtime=True, num_split=10)
+        ec = EngineConfig.from_args(args, "replay")
+        assert ec.speed == 2.0 and ec.realtime is True
+
+    def test_nonpositive_speed_rejected(self):
+        args = ns(engine="threaded", speed=-1.0, realtime=True, num_split=10)
+        with pytest.raises(ConfigError, match="--speed must be positive"):
+            EngineConfig.from_args(args, "replay")
+
+    def test_ingest_workers_lower_bound(self):
+        with pytest.raises(ConfigError, match="--ingest-workers"):
+            EngineConfig.from_args(self._live_ns(ingest_workers=0), "serve")
+
+    def test_ingest_workers_incompatible_with_capture(self):
+        args = self._live_ns(ingest_workers=2, capture="tee.fdc")
+        with pytest.raises(ConfigError, match="--capture cannot tee"):
+            EngineConfig.from_args(args, "serve")
+
+    def test_scenario_rejects_explicit_live_flags(self):
+        args = self._live_ns(scenario="bursts", seed=None, duration=5.0)
+        with pytest.raises(ConfigError, match="--duration only applies"):
+            EngineConfig.from_args(args, "capture")
+
+    def test_seed_requires_scenario(self):
+        args = self._live_ns(scenario=None, seed=42)
+        with pytest.raises(ConfigError, match="--seed only applies"):
+            EngineConfig.from_args(args, "capture")
+
+    def test_exact_ttl_reaches_flowdns_config(self):
+        args = ns(engine="threaded", num_split=10, exact_ttl=True)
+        assert EngineConfig.from_args(args, "replay").flowdns.exact_ttl is True
