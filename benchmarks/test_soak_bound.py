@@ -1,0 +1,73 @@
+"""Bounded-memory soak bench: churn throughput under the entry cap.
+
+The operational question behind ``max_entries_per_map`` is what the cap
+*costs*: every put over the cap pays an eviction sweep, so a store at
+its bound runs the one-in-one-out trim on the hot fill path. This bench
+drives the same endless CNAME-churn workload the tier-1 soak gate uses
+(every step a fresh name -> fresh chain -> fresh IP) through a capped
+and an uncapped :class:`ThreadedEngine` and records the fill throughput
+of each plus the capped run's resident-entry ceiling, so the bench
+artifact tracks both the eviction overhead and the memory bound across
+PRs.
+"""
+
+import time
+
+from repro.core.config import FlowDNSConfig
+from repro.core.engine import ThreadedEngine
+from repro.dns.rr import RRType
+from repro.dns.stream import DnsRecord
+from repro.util.benchio import record_bench
+
+STEPS = 20_000
+CAP = 500
+NUM_SPLIT = 2
+#: Same envelope arithmetic as the tier-1 soak gate: per-map cap x split
+#: maps x three tiers (active/inactive/long) x two banks.
+BOUND = CAP * NUM_SPLIT * 3 * 2
+
+
+def _config(max_entries):
+    return FlowDNSConfig(num_split=NUM_SPLIT, a_clear_up_interval=30.0,
+                         c_clear_up_interval=30.0,
+                         max_entries_per_map=max_entries)
+
+
+def _churn_records(steps):
+    for i in range(steps):
+        ts = i * 0.01
+        yield DnsRecord(ts, f"svc{i}.example", RRType.CNAME, 600,
+                        f"edge{i}.cdn.net")
+        yield DnsRecord(ts, f"edge{i}.cdn.net", RRType.A, 60,
+                        f"10.{(i >> 16) & 255}.{(i >> 8) & 255}.{i & 255}")
+
+
+def _run(max_entries):
+    engine = ThreadedEngine(_config(max_entries))
+    start = time.perf_counter()
+    report = engine.run([_churn_records(STEPS)], [])
+    elapsed = time.perf_counter() - start
+    return report, (STEPS * 2) / elapsed
+
+
+def test_capped_churn_stays_bounded_and_records_throughput():
+    report, rate = _run(CAP)
+    assert report.dns_records == STEPS * 2
+    assert report.evictions > 0
+    assert report.final_map_entries <= BOUND
+    record_bench("soak_churn_capped_records_per_sec", round(rate, 1))
+    record_bench("soak_final_map_entries", float(report.final_map_entries))
+    record_bench("soak_evictions", float(report.evictions))
+    print(f"\ncapped churn: {rate:,.0f} records/s, "
+          f"{report.final_map_entries} resident (bound {BOUND}), "
+          f"{report.evictions} evictions")
+
+
+def test_uncapped_churn_baseline_throughput():
+    report, rate = _run(0)
+    assert report.dns_records == STEPS * 2
+    assert report.evictions == 0
+    assert report.final_map_entries > BOUND
+    record_bench("soak_churn_uncapped_records_per_sec", round(rate, 1))
+    print(f"\nuncapped churn: {rate:,.0f} records/s, "
+          f"{report.final_map_entries} resident")

@@ -300,6 +300,24 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--capture", default=None,
                    help="tee every received wire unit into this capture file "
                         "(replayable with `flowdns replay`)")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="periodically write a crash-safe storage snapshot to "
+                        "PATH (atomic rename) and restore from it on start; "
+                        "a corrupt or mismatched snapshot warns and the "
+                        "service starts empty")
+    p.add_argument("--snapshot-interval", type=float, default=None,
+                   help="seconds between periodic snapshots (default: 60; "
+                        "requires --snapshot)")
+    p.add_argument("--stats-interval", type=float, default=None,
+                   help="print a live stats line to stderr every N seconds "
+                        "(default: 0 = off)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve live Prometheus-style metrics over HTTP on "
+                        "this port (0 = ephemeral; default: disabled)")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="bound every storage map to this many entries, "
+                        "evicting oldest-first at overflow (default: 0 = "
+                        "unbounded)")
     p.set_defaults(func=cmd_serve)
 
 
@@ -388,6 +406,23 @@ def _run_live_session(engine_config, sink, capture):
               file=sys.stderr)
         print(f"DNS over TCP       : {dns_ingest.address[0]}:{dns_ingest.address[1]}",
               file=sys.stderr)
+        if engine_config.metrics_port is not None:
+            # The endpoint starts right after the listeners bind; wait it
+            # out the same way so the printed address is real.
+            while engine.metrics_address is None:
+                if run.done():
+                    try:
+                        return await run
+                    except OSError as exc:
+                        raise _BindFailure(exc) from exc
+                await asyncio.sleep(0.01)
+            print(f"metrics (HTTP)     : "
+                  f"{engine.metrics_address[0]}:{engine.metrics_address[1]}",
+                  file=sys.stderr)
+        if engine_config.snapshot_path:
+            print(f"snapshots          : {engine_config.snapshot_path} "
+                  f"every {engine_config.snapshot_interval:g}s",
+                  file=sys.stderr)
         try:
             loop.add_signal_handler(signal.SIGINT, engine.request_stop)
             loop.add_signal_handler(signal.SIGTERM, engine.request_stop)
@@ -407,6 +442,18 @@ def _print_live_summary(report) -> None:
     print(f"dns records ingested : {report.dns_records:,}", file=sys.stderr)
     print(f"flows correlated     : {report.matched_flows:,}/{report.flow_records:,} "
           f"({report.correlation_rate:.1%} of bytes)", file=sys.stderr)
+    if report.restored_entries:
+        print(f"restored from snap   : {report.restored_entries:,} entries",
+              file=sys.stderr)
+    if report.snapshots_written:
+        print(f"snapshots written    : {report.snapshots_written:,}",
+              file=sys.stderr)
+    if report.evictions:
+        print(f"entries evicted      : {report.evictions:,} (memory bound)",
+              file=sys.stderr)
+    if report.worker_restarts:
+        print(f"workers respawned    : {report.worker_restarts:,}",
+              file=sys.stderr)
     for name, stats in report.ingest.items():
         rcvbuf = (
             f" rcvbuf={format_bytes(stats.recv_buffer_bytes)}"
@@ -525,6 +572,10 @@ def _add_replay(subparsers) -> None:
                    help="worker processes for --engine sharded")
     p.add_argument("--exact-ttl", action="store_true",
                    help="run the Appendix A.8 exact-TTL variant")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="bound every storage map to this many entries, "
+                        "evicting oldest-first at overflow (default: 0 = "
+                        "unbounded)")
     _add_fill_timeout(p)
     p.set_defaults(func=cmd_replay)
 

@@ -43,7 +43,9 @@ after the write sink has drained.
 from __future__ import annotations
 
 import asyncio
+import os
 import socket
+import sys
 import threading
 import time
 from collections import deque
@@ -69,6 +71,7 @@ from repro.core.pipeline import (
 )
 from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import DiscardSink, WriteWorker
+from repro.storage.snapshot import load_snapshot, save_snapshot
 from repro.dns.tcp import MAX_MESSAGE_SIZE, TcpFrameDecoder
 from repro.netflow.collector import FlowCollector
 from repro.netflow.udp import MAX_DATAGRAM, bind_udp_socket, set_recv_buffer
@@ -480,6 +483,15 @@ class AsyncEngine:
         self._fill_finite_done = False
         #: ``(buffer_name, exception)`` per source that raised mid-pump.
         self._source_errors: List[Tuple[str, BaseException]] = []
+        # Service-lifecycle state (serve --snapshot / --stats-interval /
+        # --metrics-port); zeroed per run, readable mid-run.
+        self.snapshots_written = 0
+        self.restored_entries = 0
+        self.metrics_address: Optional[Tuple[str, int]] = None
+        self._last_snapshot_monotonic: Optional[float] = None
+        self._snapshot_failed = False
+        self._service_warnings: List[str] = []
+        self._run_sources: List = []
 
     # --- cross-thread control & observability ---------------------------------
 
@@ -523,6 +535,81 @@ class AsyncEngine:
         """True once every *finite* DNS source has drained through the
         fill lane (live DNS listeners never 'complete' until stop)."""
         return self._fill_finite_done
+
+    def snapshot_age(self) -> float:
+        """Seconds since the last snapshot write this run (-1: none yet)."""
+        if self._last_snapshot_monotonic is None:
+            return -1.0
+        return time.monotonic() - self._last_snapshot_monotonic
+
+    # --- service lifecycle ------------------------------------------------
+
+    def _restore_on_start(self) -> None:
+        """Load the snapshot file into the fresh per-run storage, if any.
+
+        Degrades gracefully by design: a missing file is a cold start, a
+        corrupt or config-mismatched snapshot warns and starts empty
+        (the restore is all-or-nothing, so a failed load leaves the
+        fresh storage untouched) — a service must come up either way.
+        """
+        path = self.engine_config.snapshot_path
+        if not path or not os.path.exists(path):
+            return
+        try:
+            self.restored_entries = load_snapshot(self.storage, path)
+        except (ParseError, OSError) as exc:
+            self._service_warnings.append(
+                f"snapshot restore from {path} failed ({exc}); starting empty"
+            )
+
+    async def _write_snapshot(self, loop: asyncio.AbstractEventLoop, path: str) -> None:
+        """One crash-safe snapshot write, off-loop.
+
+        ``save_snapshot`` reads shard-consistent map snapshots and does
+        file I/O — both safe and desirable off the event loop, so the
+        executor hop keeps the lanes serving while the state is dumped.
+        """
+        try:
+            await loop.run_in_executor(None, save_snapshot, self.storage, path)
+            self.snapshots_written += 1
+            self._last_snapshot_monotonic = time.monotonic()
+            self._snapshot_failed = False
+        except (ParseError, OSError) as exc:
+            if not self._snapshot_failed:  # warn once per failure streak
+                self._service_warnings.append(
+                    f"snapshot write to {path} failed: {exc}"
+                )
+            self._snapshot_failed = True
+
+    async def _snapshot_task(self) -> None:
+        loop = asyncio.get_running_loop()
+        interval = self.engine_config.snapshot_interval
+        path = self.engine_config.snapshot_path
+        while True:
+            await asyncio.sleep(interval)
+            await self._write_snapshot(loop, path)
+
+    def _stats_line(self) -> str:
+        storage = self.storage
+        restarts = sum(
+            int(getattr(s, "restarts", 0) or 0) for s in self._run_sources
+        )
+        dropped = sum(b.stats.dropped for b in self._buffers)
+        age = self.snapshot_age()
+        age_text = f"{age:.0f}s" if age >= 0 else "n/a"
+        return (
+            f"[flowdns] dns={self.dns_records_seen} flows={self.flows_seen} "
+            f"entries={storage.total_entries()} "
+            f"evictions={storage.evictions()} dropped={dropped} "
+            f"worker_restarts={restarts} snapshots={self.snapshots_written} "
+            f"snapshot_age={age_text}"
+        )
+
+    async def _stats_task(self) -> None:
+        interval = self.engine_config.stats_interval
+        while True:
+            await asyncio.sleep(interval)
+            print(self._stats_line(), file=sys.stderr, flush=True)
 
     # --- scheduling policy ----------------------------------------------------
 
@@ -629,6 +716,14 @@ class AsyncEngine:
         self._fillup_processors = []
         self._lookup_processors = []
         self.storage = DnsStorage(cfg)
+        self.snapshots_written = 0
+        self.restored_entries = 0
+        self.metrics_address = None
+        self._last_snapshot_monotonic = None
+        self._snapshot_failed = False
+        self._service_warnings = []
+        self._run_sources = list(dns_sources) + list(flow_sources)
+        self._restore_on_start()
 
         live_ingests = []
         lane_tasks: List[asyncio.Task] = []
@@ -699,6 +794,27 @@ class AsyncEngine:
         self.writer = WriteWorker(self.sink)
         write_task = loop.create_task(self._write_task(write_buffer))
 
+        # Service surface: periodic snapshots, the stats heartbeat, and
+        # the scrape endpoint all start once the session is actually up
+        # (listeners bound), and run for offline replays too — a soak
+        # through ReplaySource exercises the same lifecycle as live.
+        service_tasks: List[asyncio.Task] = []
+        metrics_server = None
+        if self.engine_config.snapshot_path:
+            service_tasks.append(loop.create_task(self._snapshot_task()))
+        if self.engine_config.stats_interval > 0:
+            service_tasks.append(loop.create_task(self._stats_task()))
+        if self.engine_config.metrics_port is not None:
+            from repro.core.monitor import MetricsHttpServer, render_async_engine
+
+            sources_view = tuple(self._run_sources)
+            metrics_server = MetricsHttpServer(
+                lambda: render_async_engine(self, sources_view),
+                port=self.engine_config.metrics_port,
+            )
+            await metrics_server.start()
+            self.metrics_address = metrics_server.address
+
         # Pump finite sources; optionally barrier DNS before flows.
         dns_pumps = [
             loop.create_task(self._pump(source, buffer))
@@ -730,6 +846,17 @@ class AsyncEngine:
         await asyncio.gather(*lane_tasks)
         write_buffer.close()
         await write_task
+        # Service teardown: the periodic tasks stop, the endpoint closes,
+        # and a final snapshot pins the fully-drained state — a restart
+        # from it resumes with everything this run stored.
+        for task in service_tasks:
+            task.cancel()
+        if service_tasks:
+            await asyncio.gather(*service_tasks, return_exceptions=True)
+        if metrics_server is not None:
+            await metrics_server.stop()
+        if self.engine_config.snapshot_path:
+            await self._write_snapshot(loop, self.engine_config.snapshot_path)
         # Both cleared together: a post-run request_stop must hit the
         # drop path, not set this run's stale (already-set) event while
         # a future run is starting up.
@@ -749,6 +876,9 @@ class AsyncEngine:
         report.max_write_delay = (
             self.writer.stats.max_delay if self.writer is not None else 0.0
         )
+        report.snapshots_written = self.snapshots_written
+        report.restored_entries = self.restored_entries
         for name, exc in self._source_errors:
             report.warnings.append(source_failure_warning(name, exc))
+        report.warnings.extend(self._service_warnings)
         return report

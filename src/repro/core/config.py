@@ -63,6 +63,13 @@ class FlowDNSConfig:
     long_enabled: bool = True
     exact_ttl: bool = False
     exact_ttl_sweep_interval: float = 60.0
+    #: Memory bound per constituent hashmap (each tier × split map of
+    #: each bank; each split map for exact-TTL). 0 = unbounded — the
+    #: paper's batch runs rely on clear-up alone, but a week-long
+    #: ``serve`` under CNAME churn needs the hard cap. Overflow evicts
+    #: oldest-inserted entries and counts into
+    #: :attr:`repro.core.metrics.EngineReport.evictions`.
+    max_entries_per_map: int = 0
 
     # --- engine knobs --------------------------------------------------------
     direction: FlowDirection = FlowDirection.SOURCE
@@ -94,6 +101,8 @@ class FlowDNSConfig:
             raise ConfigError("exact_ttl_sweep_interval must be positive")
         if self.engine_batch_size < 1:
             raise ConfigError("engine_batch_size must be at least 1")
+        if self.max_entries_per_map < 0:
+            raise ConfigError("max_entries_per_map must be non-negative")
 
     @property
     def effective_num_split(self) -> int:
@@ -157,6 +166,19 @@ class EngineConfig:
     # --- replay pacing --------------------------------------------------
     realtime: bool = False
     speed: float = 1.0
+    # --- service lifecycle (serve) --------------------------------------
+    #: Periodic crash-safe snapshot target (temp file + fsync + atomic
+    #: rename); None disables snapshotting. Restore-on-start degrades
+    #: gracefully: a corrupt or mismatched snapshot warns and the
+    #: service starts empty.
+    snapshot_path: Optional[str] = None
+    #: Seconds between periodic snapshots (also the final-on-drain one).
+    snapshot_interval: float = 60.0
+    #: Seconds between live stats lines (0 = no periodic stats line).
+    stats_interval: float = 0.0
+    #: TCP port for the live Prometheus-exposition health endpoint;
+    #: None disables it (0 = ephemeral, for tests).
+    metrics_port: Optional[int] = None
 
     def __post_init__(self):
         if self.shards is not None and self.shards < 1:
@@ -171,6 +193,18 @@ class EngineConfig:
             raise ConfigError("recv_buffer_bytes must be non-negative")
         if self.speed <= 0:
             raise ConfigError("speed must be positive")
+        if self.snapshot_interval <= 0:
+            raise ConfigError("snapshot_interval must be positive")
+        if self.stats_interval < 0:
+            raise ConfigError("stats_interval must be non-negative")
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise ConfigError("metrics_port must be non-negative")
+        if self.snapshot_path is not None and self.flowdns.exact_ttl:
+            raise ConfigError(
+                "snapshots require the rotating store; the exact-TTL "
+                "variant cannot be snapshotted (entries expire by wall "
+                "time — a restore would resurrect stale records)"
+            )
 
     @classmethod
     def of(
@@ -236,9 +270,26 @@ class EngineConfig:
                 )
         if command == "capture":
             cls._validate_capture_mode(args)
+        snapshot_path = getattr(args, "snapshot", None)
+        snapshot_interval = getattr(args, "snapshot_interval", None)
+        if snapshot_interval is not None:
+            if snapshot_path is None:
+                raise ConfigError(
+                    "--snapshot-interval only applies with --snapshot PATH"
+                )
+            if snapshot_interval <= 0:
+                raise ConfigError("--snapshot-interval must be positive")
+        stats_interval = getattr(args, "stats_interval", None)
+        if stats_interval is not None and stats_interval < 0:
+            raise ConfigError("--stats-interval must be non-negative")
+        metrics_port = getattr(args, "metrics_port", None)
+        max_entries = getattr(args, "max_entries", None)
+        if max_entries is not None and max_entries < 0:
+            raise ConfigError("--max-entries must be non-negative")
         flowdns = FlowDNSConfig(
             num_split=getattr(args, "num_split", DEFAULT_NUM_SPLIT),
             exact_ttl=bool(getattr(args, "exact_ttl", False)),
+            max_entries_per_map=max_entries if max_entries is not None else 0,
         )
         host = getattr(args, "host", None)
         flow_port = getattr(args, "flow_port", None)
@@ -261,6 +312,12 @@ class EngineConfig:
             ),
             realtime=realtime,
             speed=speed if speed is not None else 1.0,
+            snapshot_path=snapshot_path,
+            snapshot_interval=(
+                snapshot_interval if snapshot_interval is not None else 60.0
+            ),
+            stats_interval=stats_interval if stats_interval is not None else 0.0,
+            metrics_port=metrics_port,
         )
 
     @staticmethod

@@ -24,6 +24,17 @@ source (``connect_buffer``/``start``/``stop``). Per-worker
 (:func:`repro.core.metrics.merge_ingest_stats`), and a worker that dies
 mid-ingest surfaces as an :attr:`ingest_errors` warning on the report —
 the run degrades loudly instead of hanging.
+
+**Supervision** (``supervise=True``, the default): a worker that dies
+without its stats sentinel — segfault, OOM kill, unhandled error — is
+respawned on the same port with capped exponential backoff, and the
+:attr:`restarts` counter records each respawn. Stats are kept per worker
+*generation*, so the merged counters keep summing across a respawn
+instead of resetting. When the whole source exceeds its restart budget
+(``max_restarts`` within ``restart_window`` seconds) the failing slot is
+abandoned and the source degrades to the surviving workers, loudly:
+every death, respawn, and abandonment lands in :attr:`ingest_errors`
+and from there in ``EngineReport.warnings``.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ import multiprocessing as mp
 import queue as queue_mod
 import select
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -170,9 +182,18 @@ class ReuseportUdpIngest:
         capture=None,
         max_recv_per_wakeup: int = 256,
         poll_interval: float = 0.05,
+        supervise: bool = True,
+        max_restarts: int = 5,
+        restart_window: float = 30.0,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
     ):
         if workers < 1:
             raise ConfigError("ingest workers must be at least 1")
+        if max_restarts < 0:
+            raise ConfigError("max_restarts must be non-negative")
+        if restart_window <= 0 or restart_backoff <= 0 or restart_backoff_cap <= 0:
+            raise ConfigError("restart window and backoffs must be positive")
         if capture is not None:
             raise ConfigError(
                 "ReuseportUdpIngest cannot tee a capture: datagrams are "
@@ -207,9 +228,28 @@ class ReuseportUdpIngest:
         self._stop_event = None
         self._started = False
         self._closed = False
-        self._stats_parts: Dict[int, IngestStats] = {}
+        #: Keyed by (wid, generation): a respawned worker's sentinel must
+        #: add to — not overwrite — its predecessor's counters.
+        self._stats_parts: Dict[Tuple[int, int], IngestStats] = {}
         self._ready_rcvbuf: Dict[int, int] = {}
         self._accounted: set = set()
+        # Supervision state.
+        self.supervise = supervise
+        self.max_restarts = max_restarts
+        self.restart_window = restart_window
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        #: Worker respawns performed (folded into
+        #: ``EngineReport.worker_restarts`` by ``pipeline.collect_ingest``).
+        self.restarts = 0
+        self._generation: Dict[int, int] = {}
+        self._respawn_at: Dict[int, float] = {}
+        self._backoff: Dict[int, float] = {}
+        self._restart_times: Deque[float] = deque()
+        self._abandoned: set = set()
+        self._stopping = False
+        self._resolved_port: Optional[int] = None
+        self._reuseport = workers > 1
         self._salvaged: Deque[Tuple[FlowBatch, int]] = deque()
         self._parent_dropped = 0
         self._delivered_datagrams = 0
@@ -261,29 +301,31 @@ class ReuseportUdpIngest:
             probe = bind_udp_socket((self.host, 0), reuseport=True)
             port = probe.getsockname()[1]
             probe.close()
+        if port:
+            self._resolved_port = port
         self._out_queue = self._ctx.Queue(maxsize=_QUEUE_DEPTH)
         self._stop_event = self._ctx.Event()
-        self.processes = [
-            self._ctx.Process(
-                target=_ingest_worker,
-                args=(
-                    wid,
-                    self.host,
-                    port,
-                    reuseport,
-                    self._out_queue,
-                    self._stop_event,
-                    self.batch_rows,
-                    self.recv_buffer_bytes,
-                    self.max_recv_per_wakeup,
-                    self.poll_interval,
-                ),
-                daemon=True,
-            )
-            for wid in range(self.workers)
-        ]
+        self.processes = [self._make_worker(wid, port) for wid in range(self.workers)]
         for process in self.processes:
             process.start()
+
+    def _make_worker(self, wid: int, port: int):
+        return self._ctx.Process(
+            target=_ingest_worker,
+            args=(
+                wid,
+                self.host,
+                port,
+                self._reuseport,
+                self._out_queue,
+                self._stop_event,
+                self.batch_rows,
+                self.recv_buffer_bytes,
+                self.max_recv_per_wakeup,
+                self.poll_interval,
+            ),
+            daemon=True,
+        )
 
     def _handle(self, message) -> None:
         tag = message[0]
@@ -294,18 +336,27 @@ class ReuseportUdpIngest:
         elif tag == _READY:
             _tag, wid, bound_port, rcvbuf = message
             self._ready_rcvbuf[wid] = rcvbuf
+            self._resolved_port = bound_port
             if self.address is None:
                 self.address = (self.host, bound_port)
             if len(self._ready_rcvbuf) == self.workers:
                 self._ready_evt.set()
         elif tag == _STATS:
             _tag, wid, stats = message
-            self._stats_parts[wid] = stats
-            self._accounted.add(wid)
+            self._stats_parts[(wid, self._generation.get(wid, 0))] = stats
+            if self._supervisable(wid):
+                # The worker exited without being asked to stop: its
+                # sentinel is an epitaph, not completion — respawn it.
+                self._schedule_respawn(wid, "exited unexpectedly")
+            else:
+                self._accounted.add(wid)
         elif tag == _ERROR:
             _tag, wid, error = message
             self.ingest_errors.append(f"ingest worker {wid} failed: {error}")
-            self._accounted.add(wid)
+            if self._supervisable(wid):
+                self._schedule_respawn(wid, error)
+            else:
+                self._accounted.add(wid)
 
     def _drain_nowait(self) -> int:
         out_queue = self._out_queue
@@ -334,32 +385,111 @@ class ReuseportUdpIngest:
     def _all_accounted(self) -> bool:
         return len(self._accounted) >= self.workers
 
+    # --- supervision ------------------------------------------------------
+
+    def _supervisable(self, wid: int) -> bool:
+        """True when a dead worker in slot ``wid`` should be respawned."""
+        return (
+            self.supervise
+            and not self._stopping
+            and not self._closed
+            and wid not in self._abandoned
+        )
+
+    def _schedule_respawn(self, wid: int, reason: str) -> None:
+        """Queue slot ``wid`` for respawn after its current backoff.
+
+        Enforces the source-wide restart budget: more than
+        ``max_restarts`` respawns inside ``restart_window`` seconds means
+        the failure is systemic (bad port, OOM pressure), and burning
+        CPU on respawn loops would starve the surviving workers — the
+        slot is abandoned instead, and the source degrades loudly.
+        """
+        if wid in self._respawn_at or wid in self._abandoned or wid in self._accounted:
+            return
+        now = time.monotonic()
+        while self._restart_times and now - self._restart_times[0] > self.restart_window:
+            self._restart_times.popleft()
+        if len(self._restart_times) >= self.max_restarts:
+            self._abandoned.add(wid)
+            self._accounted.add(wid)
+            self.ingest_errors.append(
+                f"ingest worker {wid} abandoned after {self.max_restarts} "
+                f"restarts in {self.restart_window:.0f}s; degraded to "
+                f"{self.workers - len(self._abandoned)} surviving worker(s)"
+            )
+            return
+        backoff = self._backoff.get(wid, self.restart_backoff)
+        self._backoff[wid] = min(backoff * 2.0, self.restart_backoff_cap)
+        self._respawn_at[wid] = now + backoff
+        self.ingest_errors.append(
+            f"ingest worker {wid} died ({reason}); respawning in {backoff:.2f}s"
+        )
+
+    def _maybe_respawn(self) -> None:
+        """Start replacement workers whose backoff has elapsed.
+
+        Called from every polling path (sync iteration, async drain,
+        startup wait), so supervision needs no thread of its own. Once
+        the source is stopping, pending respawns resolve to accounted
+        slots instead — a replacement spawned during teardown would
+        never be joined.
+        """
+        if not self._respawn_at:
+            return
+        now = time.monotonic()
+        for wid in list(self._respawn_at):
+            if self._stopping or self._closed:
+                del self._respawn_at[wid]
+                self._accounted.add(wid)
+                continue
+            if now < self._respawn_at[wid]:
+                continue
+            del self._respawn_at[wid]
+            old = self.processes[wid]
+            if old.pid is not None and not old.is_alive():
+                old.join(timeout=0)  # release the dead process record
+            port = self._resolved_port if self._resolved_port else self.port
+            self._generation[wid] = self._generation.get(wid, 0) + 1
+            replacement = self._make_worker(wid, port)
+            self.processes[wid] = replacement
+            replacement.start()
+            self.restarts += 1
+            self._restart_times.append(now)
+
     def _reap_dead_workers(self) -> None:
-        """Account workers that died without their stats sentinel.
+        """Handle workers that died without their stats sentinel.
 
         Called only after an empty queue poll: a worker that exited
         cleanly flushed its sentinel to the pipe *before* its exitcode
         became observable, so anything still missing after a non-blocking
-        drain really did die mid-ingest — which is a warning, not a hang.
+        drain really did die mid-ingest. Supervised, that schedules a
+        respawn; otherwise it is accounted as a loud warning, not a hang.
         """
         dead = [
             wid
             for wid, process in enumerate(self.processes)
             if wid not in self._accounted
+            and wid not in self._respawn_at
             and process.pid is not None
             and not process.is_alive()
         ]
-        if not dead:
-            return
-        self._drain_nowait()
-        for wid in dead:
-            if wid not in self._accounted:
-                self._accounted.add(wid)
-                self.ingest_errors.append(
-                    f"ingest worker {wid} died mid-ingest (exitcode "
-                    f"{self.processes[wid].exitcode}); flows routed to its "
-                    f"socket after the death were lost"
-                )
+        if dead:
+            self._drain_nowait()
+            for wid in dead:
+                if wid in self._accounted or wid in self._respawn_at:
+                    continue
+                exitcode = self.processes[wid].exitcode
+                if self._supervisable(wid):
+                    self._schedule_respawn(wid, f"exitcode {exitcode}")
+                else:
+                    self._accounted.add(wid)
+                    self.ingest_errors.append(
+                        f"ingest worker {wid} died mid-ingest (exitcode "
+                        f"{exitcode}); flows routed to its socket after the "
+                        f"death were lost"
+                    )
+        self._maybe_respawn()
 
     def _join_workers(self) -> None:
         for process in self.processes:
@@ -388,8 +518,11 @@ class ReuseportUdpIngest:
         """Ask the workers to flush and exit; iteration then terminates.
 
         The sync-face stop signal (mirrors ``AsyncEngine.request_stop``);
-        the async face's awaitable teardown is :meth:`stop`.
+        the async face's awaitable teardown is :meth:`stop`. Stopping
+        also ends supervision: pending respawns are cancelled and dead
+        slots account as final.
         """
+        self._stopping = True
         if self._stop_event is not None:
             self._stop_event.set()
 
@@ -433,6 +566,9 @@ class ReuseportUdpIngest:
                 if self._drain_nowait():
                     continue  # a dead worker's last flushed batches
                 return
+            # Respawns must not wait for an idle queue: surviving workers
+            # keep the queue busy exactly when a dead slot matters most.
+            self._maybe_respawn()
             if not self._pump_blocking(timeout=0.2):
                 self._reap_dead_workers()
 
@@ -468,6 +604,7 @@ class ReuseportUdpIngest:
                 self._offer(*salvaged.popleft())
             if self._all_accounted() and not moved:
                 return
+            self._maybe_respawn()
             if not moved:
                 self._reap_dead_workers()
                 await asyncio.sleep(0.002)
@@ -482,6 +619,7 @@ class ReuseportUdpIngest:
         """Async stop: workers flush, the drain task finishes, then join."""
         import asyncio
 
+        self._stopping = True
         if self._stop_event is not None:
             self._stop_event.set()
         if self._drain_task is not None:

@@ -281,6 +281,16 @@ class EngineReport:
     chain_lengths: Dict[int, int] = field(default_factory=dict)
     final_map_entries: int = 0
     overwrites: int = 0
+    #: Entries dropped by the ``max_entries_per_map`` memory bound across
+    #: all stores; 0 when the bound is unset or never hit.
+    evictions: int = 0
+    #: Ingest worker processes respawned by supervision after dying
+    #: mid-run; 0 for unsupervised or clean runs.
+    worker_restarts: int = 0
+    #: Periodic snapshots written during the run (``serve --snapshot``).
+    snapshots_written: int = 0
+    #: Entries restored from a snapshot at start-up (restore-on-start).
+    restored_entries: int = 0
     duration: float = 0.0
     variant_name: str = "main"
     #: Which representation the engine's flow lane carried: "columnar"

@@ -2,14 +2,16 @@
 
 Renders engine/storage state in the Prometheus text exposition format
 so an operator can scrape a running FlowDNS (the paper's Figure 2
-series are exactly these gauges over a week). No HTTP server is bundled
-— the renderer produces the text; wiring it to a socket is deployment
-glue this library stays out of.
+series are exactly these gauges over a week). For long-lived ``serve``
+sessions, :class:`MetricsHttpServer` wires a renderer to a socket: a
+minimal asyncio HTTP responder that shares the engine's event loop, so
+scraping a live session needs no extra thread and no dependency.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import asyncio
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import ThreadedEngine
 from repro.core.metrics import EngineReport
@@ -24,7 +26,7 @@ class MetricsRenderer:
         self._lines: List[str] = []
         self._seen_headers = set()
 
-    def gauge(self, name: str, value: float, help_text: str = "", labels: Dict[str, str] = None) -> None:
+    def gauge(self, name: str, value: float, help_text: str = "", labels: Optional[Dict[str, str]] = None) -> None:
         full = f"{_PREFIX}_{name}"
         if full not in self._seen_headers:
             if help_text:
@@ -37,7 +39,7 @@ class MetricsRenderer:
             label_text = "{" + inner + "}"
         self._lines.append(f"{full}{label_text} {value}")
 
-    def counter(self, name: str, value: float, help_text: str = "", labels: Dict[str, str] = None) -> None:
+    def counter(self, name: str, value: float, help_text: str = "", labels: Optional[Dict[str, str]] = None) -> None:
         full = f"{_PREFIX}_{name}_total"
         if full not in self._seen_headers:
             if help_text:
@@ -69,6 +71,10 @@ def render_report(report: EngineReport) -> str:
     out.gauge("write_delay_seconds_max", report.max_write_delay,
               "max delay between flow timestamp and output write")
     out.gauge("map_entries", report.final_map_entries, "live hashmap entries")
+    out.counter("storage_evictions", report.evictions,
+                "entries dropped by the max_entries memory bound")
+    out.counter("worker_restarts", report.worker_restarts,
+                "supervised ingest workers respawned")
     for length, count in sorted(report.chain_lengths.items()):
         out.counter("chains", count, "lookup chains by length",
                     labels={"length": str(length)})
@@ -97,6 +103,124 @@ def render_engine(engine: ThreadedEngine) -> str:
                   "ingress buffer occupancy fraction", labels=labels)
     out.gauge("write_rows", engine.writer.stats.rows, "output rows written")
     return out.render()
+
+
+def render_async_engine(engine, sources: Tuple = ()) -> str:
+    """Expose a *running* async engine's live service state.
+
+    This is what ``serve --metrics-port`` publishes mid-run: lane
+    progress, per-bank entry counts, the memory-bound eviction counter,
+    worker supervision restarts, and snapshot freshness — the numbers an
+    operator needs to answer "is this service healthy" without stopping
+    it. Duck-typed on the AsyncEngine surface so tests can feed a stub.
+    """
+    out = MetricsRenderer()
+    out.counter("dns_records", engine.dns_records_seen,
+                "DNS stream records processed")
+    out.counter("flow_records", engine.flows_seen,
+                "Netflow records processed")
+    storage = engine.storage
+    counts = storage.entry_counts()
+    for bank, tiers in counts.items():
+        for tier, entries in tiers.items():
+            out.gauge("storage_entries", entries, "entries per bank/tier",
+                      labels={"bank": bank, "tier": tier})
+    out.gauge("map_entries", storage.total_entries(), "live hashmap entries")
+    out.counter("storage_overwrites", storage.overwrites(),
+                "IP-key overwrites (accuracy-relevant)")
+    out.counter("storage_evictions", storage.evictions(),
+                "entries dropped by the max_entries memory bound")
+    out.counter("storage_lock_contention", storage.contended_acquisitions(),
+                "contended shard-lock acquisitions")
+    for buffer in getattr(engine, "_buffers", ()):
+        labels = {"stream": buffer.name}
+        out.counter("stream_offered", buffer.stats.offered,
+                    "records offered to the ingress buffer", labels=labels)
+        out.counter("stream_dropped", buffer.stats.dropped,
+                    "records dropped at the ingress buffer", labels=labels)
+    restarts = 0
+    for source in sources:
+        stats = getattr(source, "ingest_stats", None)
+        if stats is not None:
+            labels = {"source": stats.name}
+            out.counter("ingest_received", stats.received,
+                        "wire units received", labels=labels)
+            out.counter("ingest_accepted", stats.accepted,
+                        "wire units handed to the pipeline", labels=labels)
+            out.counter("ingest_dropped", stats.dropped,
+                        "wire units dropped at ingest", labels=labels)
+            out.counter("ingest_malformed", stats.malformed,
+                        "wire units that failed to decode", labels=labels)
+        restarts += int(getattr(source, "restarts", 0) or 0)
+    out.counter("worker_restarts", restarts,
+                "supervised ingest workers respawned")
+    out.counter("snapshots_written", getattr(engine, "snapshots_written", 0),
+                "periodic snapshots written this run")
+    out.gauge("snapshot_age_seconds", getattr(engine, "snapshot_age", lambda: -1.0)(),
+              "seconds since the last snapshot write (-1: none yet)")
+    out.gauge("restored_entries", getattr(engine, "restored_entries", 0),
+              "entries restored from a snapshot at startup")
+    return out.render()
+
+
+class MetricsHttpServer:
+    """A minimal asyncio HTTP responder for live metrics scraping.
+
+    Serves every GET with the current output of ``render()`` (a callable
+    returning exposition text) and closes the connection — the subset of
+    HTTP a Prometheus scrape or ``curl`` needs, on the engine's own
+    event loop. Render failures return a 500 with the error in the body
+    rather than killing the serving task.
+    """
+
+    def __init__(self, render: Callable[[], str], host: str = "127.0.0.1", port: int = 0):
+        self.render_fn = render
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError, ConnectionError, OSError):
+                return
+            try:
+                body = self.render_fn()
+                status = "200 OK"
+            except Exception as exc:  # surface, don't kill the server task
+                body = f"# metrics render failed: {exc!r}\n"
+                status = "500 Internal Server Error"
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
 
 def parse_exposition(text: str) -> Dict[str, float]:

@@ -331,6 +331,8 @@ def collect_ingest(report: EngineReport, sources: Iterable) -> None:
             report.ingest[key] = stats
         for error in getattr(source, "ingest_errors", ()):
             report.warnings.append(str(error))
+        # Supervised sources (ReuseportUdpIngest) count worker respawns.
+        report.worker_restarts += int(getattr(source, "restarts", 0) or 0)
 
 
 # --- report assembly --------------------------------------------------------
@@ -347,6 +349,7 @@ _SUMMARY_ZEROS = {
     "records_stored": 0,
     "map_entries": 0,
     "overwrites": 0,
+    "evictions": 0,
 }
 
 
@@ -388,6 +391,7 @@ def stack_summary(
         "records_stored": sum(p.stats.records_stored for p in fillup_processors),
         "map_entries": storage.total_entries(),
         "overwrites": storage.overwrites(),
+        "evictions": storage.evictions(),
     }
 
 
@@ -423,6 +427,8 @@ def merge_summaries(
     # Resident entries across all stacks: replicated (broadcast) entries
     # genuinely occupy memory in each holding process, so they always sum.
     report.final_map_entries = sum(s["map_entries"] for s in summaries)
+    # .get: summaries from pre-eviction worker builds lack the key.
+    report.evictions = sum(s.get("evictions", 0) for s in summaries)
     if broadcast_overwrites:
         report.overwrites = max((s["overwrites"] for s in summaries), default=0)
     else:

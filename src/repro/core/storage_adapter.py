@@ -29,11 +29,13 @@ class DnsStorage:
                 num_splits=splits,
                 shard_count=config.map_shard_count,
                 sweep_interval=config.exact_ttl_sweep_interval,
+                max_entries=config.max_entries_per_map,
             )
             self._cname_exact = ExactTtlStore(
                 num_splits=splits,
                 shard_count=config.map_shard_count,
                 sweep_interval=config.exact_ttl_sweep_interval,
+                max_entries=config.max_entries_per_map,
             )
             self._ip_bank = None
             self._cname_bank = None
@@ -45,6 +47,7 @@ class DnsStorage:
                 rotation_enabled=config.rotation_enabled,
                 clear_up_enabled=config.clear_up_enabled,
                 long_enabled=config.long_enabled,
+                max_entries=config.max_entries_per_map,
             )
             self._cname_bank = StoreBank(
                 clear_up_interval=config.c_clear_up_interval,
@@ -53,6 +56,7 @@ class DnsStorage:
                 rotation_enabled=config.rotation_enabled,
                 clear_up_enabled=config.clear_up_enabled,
                 long_enabled=config.long_enabled,
+                max_entries=config.max_entries_per_map,
             )
             self._ip_exact = None
             self._cname_exact = None
@@ -194,6 +198,12 @@ class DnsStorage:
             self._ip_bank.contended_acquisitions()
             + self._cname_bank.contended_acquisitions()
         )
+
+    def evictions(self) -> int:
+        """Entries dropped by the max_entries memory bound, both banks."""
+        if self._ip_exact is not None:
+            return self._ip_exact.stats.evictions + self._cname_exact.stats.evictions
+        return self._ip_bank.stats.evictions + self._cname_bank.stats.evictions
 
     def overwrites(self) -> int:
         """IP-key overwrites (accuracy-relevant events; 0 for exact-TTL)."""

@@ -55,6 +55,8 @@ class ConcurrentMap:
         self._shards: List[Dict[str, object]] = [{} for _ in range(shard_count)]
         self._locks = [threading.Lock() for _ in range(shard_count)]
         self.contended_acquisitions = 0
+        #: Where the next eviction sweep starts; see :meth:`evict_oldest`.
+        self._evict_cursor = 0
 
     def _shard_index(self, key: str) -> int:
         return fnv1a_cached(key) % self.shard_count
@@ -227,6 +229,57 @@ class ConcurrentMap:
         self.clear()
         for key, value in incoming.items():
             self.set(key, value)
+
+    def evict_oldest(self, count: int) -> int:
+        """Drop up to ``count`` entries, oldest-inserted first per shard.
+
+        CPython dicts preserve insertion order, so popping each shard's
+        first keys is FIFO *within* a shard; across shards a rotating
+        cursor spreads the eviction (proportionally to shard size for
+        large sweeps, round-robin for the steady single-entry trim at
+        the cap), making the whole-map order approximately FIFO.
+        Returns how many entries were removed — the memory-bound
+        enforcement primitive, not a cache policy.
+        """
+        if count <= 0:
+            return 0
+        removed = 0
+        while removed < count:
+            sizes = self.shard_sizes()
+            total = sum(sizes)
+            if total == 0:
+                break
+            remaining = count - removed
+            # Start from a rotating cursor: small evictions (the steady
+            # one-in-one-out trim at the cap) must cycle through the
+            # shards rather than repeatedly draining the lowest-index
+            # one, which would evict *recent* entries hashed there while
+            # stale entries elsewhere survive.
+            start = self._evict_cursor
+            for offset in range(self.shard_count):
+                idx = (start + offset) % self.shard_count
+                size = sizes[idx]
+                if size == 0 or remaining <= 0:
+                    continue
+                # Proportional share, at least 1 from every non-empty
+                # shard so tiny shards cannot stall the loop.
+                share = min(size, max(1, remaining * size // total))
+                self._evict_cursor = (idx + 1) % self.shard_count
+                self._acquire(idx)
+                try:
+                    shard = self._shards[idx]
+                    victims = []
+                    for key in shard:
+                        if len(victims) >= share:
+                            break
+                        victims.append(key)
+                    for key in victims:
+                        del shard[key]
+                    removed += len(victims)
+                    remaining -= len(victims)
+                finally:
+                    self._locks[idx].release()
+        return removed
 
     def shard_sizes(self) -> List[int]:
         """Per-shard entry counts — used to test hash spread uniformity."""

@@ -28,6 +28,9 @@ class ExactTtlStats:
     sweeps: int = 0
     swept_entries: int = 0
     sweep_scanned: int = 0
+    #: Entries dropped by the ``max_entries`` memory bound (oldest-first),
+    #: on top of the TTL expiry the sweeps perform.
+    evictions: int = 0
 
 
 class ExactTtlStore:
@@ -38,13 +41,20 @@ class ExactTtlStore:
         num_splits: int = 1,
         shard_count: int = DEFAULT_SHARD_COUNT,
         sweep_interval: float = 60.0,
+        max_entries: int = 0,
     ):
         if num_splits <= 0:
             raise ConfigError("num_splits must be positive")
         if sweep_interval <= 0:
             raise ConfigError("sweep_interval must be positive")
+        if max_entries < 0:
+            raise ConfigError("max_entries must be non-negative")
         self.num_splits = num_splits
         self.sweep_interval = float(sweep_interval)
+        #: Memory bound per split map; 0 = unbounded. Exact-TTL's sweeps
+        #: only remove *expired* entries — under churn the live set alone
+        #: can grow without bound, so the service cap applies here too.
+        self.max_entries = max_entries
         self.stats = ExactTtlStats()
         self._maps = [ConcurrentMap(shard_count) for _ in range(num_splits)]
         self._last_sweep_ts: Optional[float] = None
@@ -54,8 +64,17 @@ class ExactTtlStore:
 
     def put(self, label: int, key: str, value: str, ttl: float, ts: float) -> None:
         """Store a record that will expire at ``ts + ttl``."""
-        self._maps[self._split(label)].set(key, (value, ts + ttl))
+        target = self._maps[self._split(label)]
+        target.set(key, (value, ts + ttl))
         self.stats.puts += 1
+        if self.max_entries:
+            self._enforce_cap(target)
+
+    def _enforce_cap(self, cmap: ConcurrentMap) -> None:
+        """Trim one split map back to ``max_entries``, oldest first."""
+        overflow = len(cmap) - self.max_entries
+        if overflow > 0:
+            self.stats.evictions += cmap.evict_oldest(overflow)
 
     def put_many(self, entries: Iterable[Tuple[int, str, str, float, float]]) -> None:
         """Batched :meth:`put` of ``(label, key, value, ttl, ts)`` records.
@@ -73,6 +92,8 @@ class ExactTtlStore:
             count += 1
         for n, pairs in by_split.items():
             self._maps[n].set_many(pairs)
+            if self.max_entries:
+                self._enforce_cap(self._maps[n])
         self.stats.puts += count
 
     def lookup(self, label: int, key: str, now: float) -> Optional[str]:
@@ -123,6 +144,9 @@ class ExactTtlStore:
                     self.stats.swept_entries += 1
         self.stats.sweeps += 1
         self.stats.sweep_scanned += scanned
+        if self.max_entries:
+            for cmap in self._maps:
+                self._enforce_cap(cmap)
         return scanned
 
     def total_entries(self) -> int:

@@ -49,6 +49,9 @@ class RotatingStoreStats:
     rotations: int = 0
     entries_rotated: int = 0
     entries_cleared: int = 0
+    #: Entries dropped by the ``max_entries`` memory bound (oldest-first),
+    #: distinct from ``entries_cleared`` (scheduled clear-up rounds).
+    evictions: int = 0
     hits: Dict[str, int] = field(default_factory=lambda: {t.value: 0 for t in Tier})
     misses: int = 0
 
@@ -74,13 +77,20 @@ class StoreBank:
         clear_up_enabled: bool = True,
         long_enabled: bool = True,
         long_clear_every: int = 0,
+        max_entries: int = 0,
     ):
         if clear_up_interval <= 0:
             raise ConfigError("clear_up_interval must be positive")
         if num_splits <= 0:
             raise ConfigError("num_splits must be positive")
+        if max_entries < 0:
+            raise ConfigError("max_entries must be non-negative")
         self.clear_up_interval = float(clear_up_interval)
         self.num_splits = num_splits
+        #: Memory bound per constituent hashmap (each tier × split map);
+        #: 0 = unbounded (the paper's deployment relies on clear-up alone,
+        #: but a week-long service under CNAME churn needs a hard cap).
+        self.max_entries = max_entries
         self.rotation_enabled = rotation_enabled
         self.clear_up_enabled = clear_up_enabled
         self.long_enabled = long_enabled
@@ -117,6 +127,14 @@ class StoreBank:
         self.stats.puts += 1
         if goes_long:
             self.stats.puts_long += 1
+        if self.max_entries:
+            self._enforce_cap(target)
+
+    def _enforce_cap(self, cmap: ConcurrentMap) -> None:
+        """Trim one constituent map back to ``max_entries``, oldest first."""
+        overflow = len(cmap) - self.max_entries
+        if overflow > 0:
+            self.stats.evictions += cmap.evict_oldest(overflow)
 
     def _clear_up_due(self, ts: float) -> bool:
         """Cheap unguarded check mirroring maybe_clear_up's precondition."""
@@ -161,6 +179,8 @@ class StoreBank:
             self.stats.overwrites += target.set_many(pairs)
             if goes_long:
                 puts_long += len(pairs)
+            if self.max_entries:
+                self._enforce_cap(target)
         self.stats.puts += len(entries)
         self.stats.puts_long += puts_long
 
@@ -216,8 +236,11 @@ class StoreBank:
 
     def put_active(self, label: int, key: str, value: str) -> None:
         """Direct Active insert, used for CNAME chain memoisation (step 7)."""
-        self._active[self._split(label)].set(key, value)
+        target = self._active[self._split(label)]
+        target.set(key, value)
         self.stats.puts += 1
+        if self.max_entries:
+            self._enforce_cap(target)
 
     def maybe_clear_up(self, ts: float) -> bool:
         """Rotate + clear when a clear-up interval has elapsed.
@@ -253,6 +276,13 @@ class StoreBank:
         if self.long_clear_every and self._clear_rounds % self.long_clear_every == 0:
             for n in range(self.num_splits):
                 self.stats.entries_cleared += self._long[n].clear()
+        if self.max_entries:
+            # Rotation boundary enforcement: the rotated-in inactive copy
+            # and the never-cleared long tier are trimmed here (puts only
+            # police the map they touched).
+            for n in range(self.num_splits):
+                self._enforce_cap(self._inactive[n])
+                self._enforce_cap(self._long[n])
         self.stats.rotations += 1
 
     def force_clear_up(self) -> None:

@@ -215,8 +215,10 @@ class TestWorkerDeath:
         )
 
     def test_all_workers_dead_ends_iteration(self):
-        """Even with every worker killed, iteration terminates."""
-        source = ReuseportUdpIngest(workers=2, poll_interval=0.02)
+        """Unsupervised, even with every worker killed, iteration
+        terminates (with supervision the workers would respawn)."""
+        source = ReuseportUdpIngest(workers=2, poll_interval=0.02,
+                                    supervise=False)
         got = []
 
         def run():
@@ -231,6 +233,107 @@ class TestWorkerDeath:
             thread.join(30.0)
             assert not thread.is_alive()
             assert len(source.ingest_errors) == 2
+        finally:
+            source.close()
+
+
+class TestSupervision:
+    """The supervised lifecycle: dead workers respawn, counters survive.
+
+    These gate the service-hardening contract — a SIGKILL'd worker comes
+    back on the same port, the merged IngestStats keep counting across
+    the generation boundary (never reset), and a slot that keeps dying
+    is abandoned once the restart budget is spent, degrading the source
+    to its surviving workers instead of burning CPU on respawn loops.
+    """
+
+    def _iterate_in_thread(self, source):
+        got = []
+        thread = threading.Thread(target=lambda: got.extend(source))
+        thread.start()
+        return got, thread
+
+    def test_sigkilled_worker_respawns_with_counter_continuity(self):
+        first = _datagrams(count=30)
+        second = _datagrams(count=30)
+        source = ReuseportUdpIngest(workers=2, batch_rows=32,
+                                    poll_interval=0.02,
+                                    restart_backoff=0.05)
+        got, thread = self._iterate_in_thread(source)
+        try:
+            address = source.wait_ready(10.0)
+            _blast(first, address)
+            deadline = time.monotonic() + 10.0
+            while (source.ingest_stats.received < len(first)
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert source.ingest_stats.received == len(first)
+
+            victim_pid = source.processes[0].pid
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while source.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert source.restarts >= 1, source.ingest_errors
+            # The slot was refilled by a *new* process, not abandoned.
+            deadline = time.monotonic() + 10.0
+            while (not source.processes[0].is_alive()
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert source.processes[0].is_alive()
+            assert source.processes[0].pid != victim_pid
+
+            _blast(second, address)
+            expected = len(first) + len(second)
+            deadline = time.monotonic() + 10.0
+            while (source.ingest_stats.received < expected
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            # Counter continuity: the merged view kept summing across the
+            # generation boundary instead of resetting at the respawn.
+            assert source.ingest_stats.received == expected
+            source.request_stop()
+            thread.join(30.0)
+            assert not thread.is_alive()
+        finally:
+            source.close()
+        assert sum(len(batch) for batch in got) == (
+            (len(first) + len(second)) * 10
+        )
+        assert any("respawning" in e for e in source.ingest_errors), (
+            source.ingest_errors
+        )
+
+    def test_restart_budget_exhaustion_degrades_to_survivors(self):
+        source = ReuseportUdpIngest(workers=2, poll_interval=0.02,
+                                    max_restarts=1, restart_window=60.0,
+                                    restart_backoff=0.05)
+        got, thread = self._iterate_in_thread(source)
+        try:
+            source.wait_ready(10.0)
+            for _round in range(2):  # budget is 1: second death abandons
+                victim = source.processes[0]
+                victim_pid = victim.pid
+                os.kill(victim_pid, signal.SIGKILL)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if 0 in source._abandoned:
+                        break
+                    if (source.processes[0].pid != victim_pid
+                            and source.processes[0].is_alive()):
+                        break
+                    time.sleep(0.02)
+            deadline = time.monotonic() + 10.0
+            while 0 not in source._abandoned and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert 0 in source._abandoned, source.ingest_errors
+            assert source.restarts == 1
+            assert any("abandoned" in e and "surviving" in e
+                       for e in source.ingest_errors), source.ingest_errors
+            # The surviving worker still drains and stops cleanly.
+            source.request_stop()
+            thread.join(30.0)
+            assert not thread.is_alive()
         finally:
             source.close()
 

@@ -151,3 +151,47 @@ class TestThreadSafety:
         stop.set()
         t.join()
         assert len(cmap) <= 100
+
+
+class TestEvictOldest:
+    """The memory-bound enforcement primitive (PR 7): approximately-FIFO
+    eviction — exact FIFO within a shard, cursor-rotated across shards."""
+
+    def test_evicts_exactly_the_requested_count(self):
+        cmap = ConcurrentMap()
+        for i in range(100):
+            cmap.set(f"k{i}", i)
+        assert cmap.evict_oldest(30) == 30
+        assert len(cmap) == 70
+
+    def test_zero_and_negative_are_noops(self):
+        cmap = ConcurrentMap()
+        cmap.set("k", 1)
+        assert cmap.evict_oldest(0) == 0
+        assert cmap.evict_oldest(-5) == 0
+        assert len(cmap) == 1
+
+    def test_overshoot_empties_and_reports_actual(self):
+        cmap = ConcurrentMap()
+        for i in range(10):
+            cmap.set(f"k{i}", i)
+        assert cmap.evict_oldest(1000) == 10
+        assert len(cmap) == 0
+
+    def test_steady_trim_spares_recent_inserts(self):
+        """One-in-one-out at the cap — the rotating store's hot loop —
+        must cycle the eviction cursor across shards so the *newest*
+        inserts survive; draining one shard repeatedly would evict
+        fresh entries hashed there while stale ones elsewhere live on."""
+        cmap = ConcurrentMap()
+        cap = 256
+        for i in range(cap):
+            cmap.set(f"seed{i}", i)
+        for i in range(1000):
+            cmap.set(f"hot{i}", i)
+            cmap.evict_oldest(len(cmap) - cap)
+        assert len(cmap) == cap
+        survivors = cmap.snapshot()
+        assert all(f"hot{i}" in survivors for i in range(990, 1000))
+        # Everything seeded long ago is gone.
+        assert not any(key.startswith("seed") for key in survivors)

@@ -1,6 +1,7 @@
 """Tests for storage snapshot/restore."""
 
 import io
+import os
 
 import pytest
 
@@ -8,7 +9,13 @@ from repro.core.config import FlowDNSConfig
 from repro.core.storage_adapter import DnsStorage
 from repro.dns.rr import RRType
 from repro.dns.stream import DnsRecord
-from repro.storage.snapshot import dump_storage, load_storage
+from repro.storage.snapshot import (
+    dump_storage,
+    load_snapshot,
+    load_storage,
+    save_snapshot,
+    snapshot_saved_at,
+)
 from repro.util.errors import ParseError
 
 
@@ -98,3 +105,149 @@ class TestErrors:
         incompatible = DnsStorage(FlowDNSConfig(num_split=3))
         with pytest.raises(ParseError):
             load_storage(incompatible, buffer)
+
+    def test_clear_up_interval_mismatch_rejected(self):
+        original = _filled_storage()
+        buffer = io.StringIO()
+        dump_storage(original, buffer)
+        buffer.seek(0)
+        incompatible = DnsStorage(FlowDNSConfig(a_clear_up_interval=123.0))
+        with pytest.raises(ParseError, match="clear_up_interval"):
+            load_storage(incompatible, buffer)
+
+
+class TestAllOrNothing:
+    """A failed restore must leave the target storage exactly as it was.
+
+    The half-wipe failure mode this pins down: restore validates bank 1,
+    wipes it, then discovers bank 2 is malformed — leaving a storage
+    that is neither the old state nor the snapshot. Validation must
+    complete over the *whole* document before any map is touched.
+    """
+
+    @staticmethod
+    def _mangle(document_text: str) -> str:
+        # Corrupt the SECOND bank only: a restore that mutates as it
+        # validates would wipe the first bank before noticing.
+        import json
+
+        document = json.loads(document_text)
+        document["name_cname"]["tiers"]["active"] = "not-a-list"
+        return json.dumps(document)
+
+    def test_failed_restore_leaves_target_untouched(self):
+        target = _filled_storage()
+        before_counts = target.entry_counts()
+        donor = _filled_storage()
+        buffer = io.StringIO()
+        dump_storage(donor, buffer)
+        with pytest.raises(ParseError):
+            load_storage(target, io.StringIO(self._mangle(buffer.getvalue())))
+        assert target.entry_counts() == before_counts
+        # Lookups still resolve from the pre-restore state.
+        assert target.lookup_ip("10.3.3.3", now=20.0) == "b.example"
+        assert target.lookup_cname("edge.cdn.net", now=20.0) == "www.svc.com"
+
+    def test_truncated_snapshot_leaves_target_untouched(self):
+        target = _filled_storage()
+        before_counts = target.entry_counts()
+        buffer = io.StringIO()
+        dump_storage(_filled_storage(), buffer)
+        truncated = buffer.getvalue()[: len(buffer.getvalue()) // 2]
+        with pytest.raises(ParseError):
+            load_storage(target, io.StringIO(truncated))
+        assert target.entry_counts() == before_counts
+
+    def test_missing_bank_rejected_before_mutation(self):
+        target = _filled_storage()
+        before_counts = target.entry_counts()
+        buffer = io.StringIO()
+        dump_storage(_filled_storage(), buffer)
+        import json
+
+        document = json.loads(buffer.getvalue())
+        del document["name_cname"]
+        with pytest.raises(ParseError, match="name_cname"):
+            load_storage(target, io.StringIO(json.dumps(document)))
+        assert target.entry_counts() == before_counts
+
+
+class TestSnapshotFiles:
+    """The crash-safe path-level pair: save_snapshot / load_snapshot."""
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        original = _filled_storage()
+        written = save_snapshot(original, path)
+        assert written == original.total_entries()
+        assert snapshot_saved_at(path) > 0.0
+        restored = DnsStorage(FlowDNSConfig())
+        assert load_snapshot(restored, path) == original.total_entries()
+        assert restored.entry_counts() == original.entry_counts()
+        assert restored.lookup_ip("10.3.3.3", now=20.0) == "b.example"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        save_snapshot(_filled_storage(), path)
+        assert sorted(os.listdir(tmp_path)) == ["state.json"]
+
+    def test_failed_write_preserves_previous_snapshot(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        save_snapshot(_filled_storage(), path)
+        before = open(path, encoding="utf-8").read()
+        # An exact-TTL storage cannot be dumped: the write fails mid-way,
+        # and the atomic-rename contract keeps the old file intact.
+        with pytest.raises(ParseError):
+            save_snapshot(DnsStorage(FlowDNSConfig(exact_ttl=True)), path)
+        assert open(path, encoding="utf-8").read() == before
+        assert sorted(os.listdir(tmp_path)) == ["state.json"]
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_snapshot(_filled_storage(), str(tmp_path / "absent.json"))
+
+    def test_rotation_roundtrip_preserves_correlation_rows(self, tmp_path):
+        """Fill → rotate → snapshot → restore: the restored storage
+        correlates a flow corpus to byte-identical rows and reports the
+        same final_map_entries as the original."""
+        from repro.core.config import EngineConfig
+        from repro.core.engine import ThreadedEngine
+        from repro.core.pipeline import gated_flow_source
+        from repro.netflow.records import FlowRecord
+
+        records = [
+            DnsRecord(float(i % 50), f"svc{i}.example", RRType.A, 300,
+                      f"10.9.{i // 200}.{i % 200 + 1}")
+            for i in range(400)
+        ]
+        flows = [
+            FlowRecord(ts=60.0, src_ip=f"10.9.{i // 200}.{i % 200 + 1}",
+                       dst_ip="100.64.0.1", bytes_=100 + i % 7)
+            for i in range(400)
+        ]
+
+        storage = DnsStorage(FlowDNSConfig())
+        for record in records:
+            storage.add_record(record)
+        storage.ip_bank.force_clear_up()
+        storage.cname_bank.force_clear_up()
+        path = str(tmp_path / "rotated.json")
+        save_snapshot(storage, path)
+
+        def correlate(store) -> str:
+            sink = io.StringIO()
+            engine = ThreadedEngine(EngineConfig(), sink=sink)
+            engine.storage = store
+            report = engine.run(
+                [], [gated_flow_source(engine, flows, timeout=10.0)]
+            )
+            return sink.getvalue(), report
+
+        rows_orig, report_orig = correlate(storage)
+        restored = DnsStorage(FlowDNSConfig())
+        load_snapshot(restored, path)
+        rows_restored, report_restored = correlate(restored)
+        assert sorted(rows_orig.splitlines()) == sorted(rows_restored.splitlines())
+        assert report_orig.matched_flows == 400
+        assert report_restored.matched_flows == 400
+        assert report_orig.final_map_entries == report_restored.final_map_entries
