@@ -513,10 +513,13 @@ def _add_capture(subparsers) -> None:
         help="produce a capture file: record live sockets for a bounded "
              "duration, or synthesize a scenario",
     )
-    p.add_argument("output", help="capture file to write")
+    p.add_argument("output", nargs="?", default=None,
+                   help="capture file to write")
     p.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
                    help="synthesize this scenario instead of recording live "
                         "sockets")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="list the scenario library and exit")
     p.add_argument("--seed", type=int, default=None,
                    help=f"scenario seed (default: {GOLDEN_SEED}, the golden "
                         "corpus seed)")
@@ -526,8 +529,17 @@ def _add_capture(subparsers) -> None:
 
 def cmd_capture(args) -> int:
     from repro.replay.capture import CaptureWriter
-    from repro.replay.scenarios import GOLDEN_SEED, write_scenario
+    from repro.replay.scenarios import GOLDEN_SEED, SCENARIOS, write_scenario
 
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()
+            print(f"{name:<22s} {doc[0] if doc else ''}".rstrip())
+        return 0
+    if args.output is None:
+        print("capture: an output path is required (or --list-scenarios)",
+              file=sys.stderr)
+        return 2
     # The two modes take disjoint options; EngineConfig.from_args rejects
     # any explicitly-passed flag the selected mode would ignore.
     engine_config, rc = _engine_config(args, "capture")
@@ -550,13 +562,15 @@ def cmd_capture(args) -> int:
 
 
 def _add_replay(subparsers) -> None:
+    from repro.replay.faults import FAULT_PROFILES
     from repro.replay.runner import REPLAY_ENGINES
 
     p = subparsers.add_parser(
         "replay",
         help="feed a capture file through a live engine",
     )
-    p.add_argument("capture", help="capture file to replay")
+    p.add_argument("capture", nargs="?", default=None,
+                   help="capture file to replay")
     p.add_argument("--engine", choices=REPLAY_ENGINES, default="threaded",
                    help="engine to replay through (default: threaded)")
     p.add_argument("--realtime", action="store_true",
@@ -576,20 +590,43 @@ def _add_replay(subparsers) -> None:
                    help="bound every storage map to this many entries, "
                         "evicting oldest-first at overflow (default: 0 = "
                         "unbounded)")
+    p.add_argument("--fault-profile", choices=sorted(FAULT_PROFILES),
+                   default=None,
+                   help="perturb the capture with this named fault profile "
+                        "before it reaches the engine")
+    p.add_argument("--fault", action="append", default=None, metavar="NAME=VALUE",
+                   help="set one fault rate on both lanes (e.g. drop=0.05, "
+                        "reorder=0.1, clock_skew=30); repeatable; overlays "
+                        "--fault-profile")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="seed for the deterministic fault RNG (default: 0; "
+                        "requires --fault-profile or --fault)")
+    p.add_argument("--list-fault-profiles", action="store_true",
+                   help="list the named fault profiles and exit")
     _add_fill_timeout(p)
     p.set_defaults(func=cmd_replay)
 
 
 def cmd_replay(args) -> int:
     from repro.replay.capture import probe_capture
+    from repro.replay.faults import FAULT_PROFILES
     from repro.replay.runner import replay_capture
     from repro.util.errors import ConfigError, ParseError
 
+    if args.list_fault_profiles:
+        for name in sorted(FAULT_PROFILES):
+            print(f"{name:<18s} {FAULT_PROFILES[name].description}")
+        return 0
     # Engine/mode flag mismatches (--shards off sharded, --fill-timeout
-    # off threaded, --speed without --realtime) are rejected here.
+    # off threaded, --speed without --realtime, --fault-seed without a
+    # fault flag) are rejected here, before any sink opens.
     engine_config, rc = _engine_config(args, "replay")
     if rc:
         return rc
+    if args.capture is None:
+        print("replay: a capture path is required (or --list-fault-profiles)",
+              file=sys.stderr)
+        return 2
     try:
         # Validate before the output sink opens: a bad capture path must
         # not truncate an existing results file on its way to exit 2.
@@ -614,6 +651,12 @@ def cmd_replay(args) -> int:
     finally:
         if sink is not sys.stdout:
             sink.close()
+    if engine_config.fault_profile or engine_config.fault_rates:
+        profile = engine_config.fault_profile or "custom"
+        seed = engine_config.fault_seed if engine_config.fault_seed is not None else 0
+        print(f"faults injected: profile={profile} seed={seed} "
+              f"(re-run with the same seed for an identical stream)",
+              file=sys.stderr)
     print(f"replayed {args.capture} through engine={args.engine}: "
           f"{report.matched_flows:,}/{report.flow_records:,} flows correlated "
           f"({report.correlation_rate:.1%} of bytes), "

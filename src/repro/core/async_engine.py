@@ -63,6 +63,7 @@ from repro.core.pipeline import (
     FillLane,
     LookupLane,
     buffer_loss_rate,
+    buffer_loss_warning,
     collect_ingest,
     is_live_source,
     merge_summaries,
@@ -349,11 +350,15 @@ class TcpDnsIngest:
         the deterministic unit tests.
         """
         stats = self.ingest_stats
+        empty_before = decoder.empty_frames
         try:
             messages = decoder.feed(chunk)
         except ParseError:
-            stats.malformed += 1
+            stats.malformed += 1 + (decoder.empty_frames - empty_before)
             return False
+        # Zero-length frames carry no parseable message; charge them as
+        # malformed so the frame-level accounting still sees them.
+        stats.malformed += decoder.empty_frames - empty_before
         ts = self.clock()
         for wire in messages:
             stats.received += 1
@@ -470,6 +475,12 @@ class AsyncEngine:
         self.writer: Optional[WriteWorker] = None
         self._fillup_processors: List[FillUpProcessor] = []
         self._lookup_processors: List[LookUpProcessor] = []
+        #: Decode collectors for *finite* flow sources (offline/replay):
+        #: their malformed counts are not charged to any ingest stats, so
+        #: the report surfaces them as flow_decode_errors. Live sources'
+        #: collectors are excluded — their decode failures already land
+        #: in the source's own IngestStats via the lane.
+        self._flow_collectors: List[FlowCollector] = []
         #: Ingress stream buffers only (the write buffer is not loss-
         #: accounted and lives in run_async's scope).
         self._buffers: List[AsyncBuffer] = []
@@ -715,6 +726,7 @@ class AsyncEngine:
         # run's report.
         self._fillup_processors = []
         self._lookup_processors = []
+        self._flow_collectors = []
         self.storage = DnsStorage(cfg)
         self.snapshots_written = 0
         self.restored_entries = 0
@@ -783,7 +795,9 @@ class AsyncEngine:
             else:
                 buffer = make_buffer(f"netflow[{i}]", None)
                 flow_finite.append((source, buffer))
-                lane = LookupLane(processor, FlowCollector())
+                collector = FlowCollector()
+                self._flow_collectors.append(collector)
+                lane = LookupLane(processor, collector)
             lane_tasks.append(
                 loop.create_task(self._lookup_task(buffer, lane, write_buffer))
             )
@@ -872,7 +886,13 @@ class AsyncEngine:
             self._fillup_processors, self._lookup_processors, self.storage
         )
         report = merge_summaries([summary], variant_name="async")
+        report.flow_decode_errors = sum(
+            c.stats.malformed + c.stats.unknown_version
+            for c in self._flow_collectors
+        )
         report.overall_loss_rate = buffer_loss_rate(self._buffers)
+        if report.overall_loss_rate > 0:
+            report.warnings.append(buffer_loss_warning(report.overall_loss_rate))
         report.max_write_delay = (
             self.writer.stats.max_delay if self.writer is not None else 0.0
         )

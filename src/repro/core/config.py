@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.netflow.records import FlowDirection
 from repro.util.errors import ConfigError
@@ -179,6 +179,16 @@ class EngineConfig:
     #: TCP port for the live Prometheus-exposition health endpoint;
     #: None disables it (0 = ephemeral, for tests).
     metrics_port: Optional[int] = None
+    # --- replay fault injection -----------------------------------------
+    #: Named profile from :data:`repro.replay.faults.FAULT_PROFILES`;
+    #: None = no profile baseline.
+    fault_profile: Optional[str] = None
+    #: ``NAME=VALUE`` overrides applied symmetrically to both lanes on
+    #: top of the profile (or on their own).
+    fault_rates: Optional[Tuple[str, ...]] = None
+    #: Seed for the deterministic per-lane fault RNGs (0 when faults are
+    #: requested without an explicit seed).
+    fault_seed: Optional[int] = None
 
     def __post_init__(self):
         if self.shards is not None and self.shards < 1:
@@ -205,6 +215,20 @@ class EngineConfig:
                 "variant cannot be snapshotted (entries expire by wall "
                 "time — a restore would resurrect stale records)"
             )
+        if self.fault_seed is not None and not (
+            self.fault_profile or self.fault_rates
+        ):
+            raise ConfigError(
+                "fault_seed requires a fault plan (fault_profile or "
+                "fault_rates); a seed alone injects nothing"
+            )
+        # Validate eagerly so a bad profile/spec fails at construction,
+        # not mid-replay. Deferred import: faults.py must not import
+        # config.py back.
+        if self.fault_profile or self.fault_rates:
+            from repro.replay.faults import resolve_fault_plan
+
+            resolve_fault_plan(self.fault_profile, self.fault_rates)
 
     @classmethod
     def of(
@@ -283,6 +307,14 @@ class EngineConfig:
         if stats_interval is not None and stats_interval < 0:
             raise ConfigError("--stats-interval must be non-negative")
         metrics_port = getattr(args, "metrics_port", None)
+        fault_profile = getattr(args, "fault_profile", None)
+        fault_rates = getattr(args, "fault", None)
+        fault_seed = getattr(args, "fault_seed", None)
+        if fault_seed is not None and not (fault_profile or fault_rates):
+            raise ConfigError(
+                "--fault-seed requires --fault-profile or --fault; a seed "
+                "alone injects nothing"
+            )
         max_entries = getattr(args, "max_entries", None)
         if max_entries is not None and max_entries < 0:
             raise ConfigError("--max-entries must be non-negative")
@@ -318,6 +350,9 @@ class EngineConfig:
             ),
             stats_interval=stats_interval if stats_interval is not None else 0.0,
             metrics_port=metrics_port,
+            fault_profile=fault_profile,
+            fault_rates=tuple(fault_rates) if fault_rates else None,
+            fault_seed=fault_seed,
         )
 
     @staticmethod

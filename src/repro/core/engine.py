@@ -49,6 +49,7 @@ from repro.core.pipeline import (
     FillLane,
     LookupLane,
     buffer_loss_rate,
+    buffer_loss_warning,
     collect_ingest,
     drain_buffer,
     gated_flow_source,
@@ -84,6 +85,10 @@ class ThreadedEngine:
         self.sink = sink if sink is not None else DiscardSink()
         self._fillup_processors: List[FillUpProcessor] = []
         self._lookup_processors: List[LookUpProcessor] = []
+        #: One decode collector per flow stream; kept so the report can
+        #: surface decode failures (malformed/unknown-version datagrams)
+        #: that are not charged to any live source's ingest stats.
+        self._flow_collectors: List[FlowCollector] = []
         self.dns_streams: List[RecordStream] = []
         self.flow_streams: List[RecordStream] = []
         self.writer = WriteWorker(self.sink)
@@ -205,8 +210,10 @@ class ThreadedEngine:
         self._fillup_threads = fillup_threads
 
         lookup_threads: List[threading.Thread] = []
+        self._flow_collectors = []
         for stream in self.flow_streams:
             collector = FlowCollector()
+            self._flow_collectors.append(collector)
             for _ in range(cfg.lookup_workers_per_stream):
                 processor = LookUpProcessor(self.storage, cfg)
                 self._lookup_processors.append(processor)
@@ -247,8 +254,14 @@ class ThreadedEngine:
             self._fillup_processors, self._lookup_processors, self.storage
         )
         report = merge_summaries([summary], variant_name="threaded")
+        report.flow_decode_errors = sum(
+            c.stats.malformed + c.stats.unknown_version
+            for c in self._flow_collectors
+        )
         report.overall_loss_rate = buffer_loss_rate(
             s.buffer for s in self.dns_streams + self.flow_streams
         )
+        if report.overall_loss_rate > 0:
+            report.warnings.append(buffer_loss_warning(report.overall_loss_rate))
         report.max_write_delay = self.writer.stats.max_delay
         return report

@@ -291,6 +291,16 @@ class EngineReport:
     snapshots_written: int = 0
     #: Entries restored from a snapshot at start-up (restore-on-start).
     restored_entries: int = 0
+    #: DNS wire messages that failed the FillUp filter (unparseable or
+    #: invalid) — counted where decode happens (the engine's fill stacks,
+    #: or the sharded engine's router-side filter) so corrupted input is
+    #: never silently absorbed.
+    dns_invalid: int = 0
+    #: Flow export datagrams that failed to decode (malformed or
+    #: unknown-version), summed over the run's lane collectors. Covers
+    #: the offline/replay paths whose decode errors are not already
+    #: charged to a live source's :class:`IngestStats`.
+    flow_decode_errors: int = 0
     duration: float = 0.0
     variant_name: str = "main"
     #: Which representation the engine's flow lane carried: "columnar"
@@ -331,3 +341,20 @@ class EngineReport:
     def hourly_correlation_rates(self) -> List[float]:
         """Correlation rate per sample interval (Figure 7's series)."""
         return [s.correlation_rate for s in self.samples if s.traffic_bytes]
+
+
+def dedupe_warnings(warnings: List[str]) -> List[str]:
+    """Collapse repeated warning messages to ``message ×N``.
+
+    A chaos run can emit the same source-failure warning hundreds of
+    times (one per faulted connection); the report must stay readable
+    and bounded. First-occurrence order is preserved; a message seen
+    once passes through unchanged.
+    """
+    counts: Dict[str, int] = {}
+    for message in warnings:
+        counts[message] = counts.get(message, 0) + 1
+    return [
+        message if count == 1 else f"{message} ×{count}"
+        for message, count in counts.items()
+    ]

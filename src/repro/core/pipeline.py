@@ -30,7 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.core.config import DEFAULT_FILL_TIMEOUT  # noqa: F401 - re-export
 from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import CorrelationBatch, LookUpProcessor
-from repro.core.metrics import EngineReport, IngestStats
+from repro.core.metrics import EngineReport, IngestStats, dedupe_warnings
 from repro.core.storage_adapter import DnsStorage
 from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
@@ -80,6 +80,52 @@ def is_live_source(source) -> bool:
 # --- flow gating ------------------------------------------------------------
 
 
+class GatedSource:
+    """A flow source that waits for the engine's DNS fill to finish.
+
+    Yields nothing until ``engine.fillup_complete`` (or ``timeout``
+    seconds pass, after which ``on_timeout`` — if given — is called once
+    before yielding anyway). The wait runs in the receiver thread at the
+    first ``next()``.
+
+    A class, not a generator, so the gate is *transparent* to the
+    ingest-source protocol: ``ingest_stats``, ``ingest_errors``, and
+    ``close()`` proxy through to the wrapped source. A gated
+    :class:`~repro.replay.source.ReplaySource` therefore still surfaces
+    its per-lane counters under :attr:`EngineReport.ingest` — the
+    accounting must not disappear just because the stream is gated.
+    """
+
+    def __init__(self, engine, items: Iterable, timeout: float,
+                 poll: float = 0.005, on_timeout=None):
+        self._engine = engine
+        self._items = items
+        self._timeout = timeout
+        self._poll = poll
+        self._on_timeout = on_timeout
+
+    @property
+    def ingest_stats(self):
+        return getattr(self._items, "ingest_stats", None)
+
+    @property
+    def ingest_errors(self):
+        return getattr(self._items, "ingest_errors", ())
+
+    def close(self) -> None:
+        close = getattr(self._items, "close", None)
+        if close is not None:
+            close()
+
+    def __iter__(self):
+        deadline = time.monotonic() + self._timeout
+        while not self._engine.fillup_complete and time.monotonic() < deadline:
+            time.sleep(self._poll)
+        if not self._engine.fillup_complete and self._on_timeout is not None:
+            self._on_timeout()
+        yield from self._items
+
+
 def gated_flow_source(
     engine,
     items: Iterable,
@@ -87,25 +133,12 @@ def gated_flow_source(
     poll: float = 0.005,
     on_timeout=None,
 ) -> Iterable:
-    """A flow source that waits for the engine's DNS fill to finish.
+    """The shared deterministic-matching gate (see :class:`GatedSource`).
 
-    Yields nothing until ``engine.fillup_complete`` (or ``timeout``
-    seconds pass, after which ``on_timeout`` — if given — is called once
-    before yielding anyway). The wait runs in the receiver thread at the
-    first ``next()``. This is the one shared implementation of the
-    deterministic-matching gate used by the CLI's offline mode, the test
-    suite, and the benchmarks.
+    This is the one implementation used by the CLI's offline mode, the
+    test suite, and the benchmarks.
     """
-
-    def source():
-        deadline = time.monotonic() + timeout
-        while not engine.fillup_complete and time.monotonic() < deadline:
-            time.sleep(poll)
-        if not engine.fillup_complete and on_timeout is not None:
-            on_timeout()
-        yield from items
-
-    return source()
+    return GatedSource(engine, items, timeout, poll=poll, on_timeout=on_timeout)
 
 
 def fill_gate_warning(timeout: float) -> str:
@@ -308,6 +341,27 @@ def source_failure_warning(name: str, exc: BaseException) -> str:
     )
 
 
+def ingest_drop_warning(name: str, stats: IngestStats) -> str:
+    """The report warning recorded when an ingest source dropped items.
+
+    Loss must be *visible*, not just counted: the accounting-invariant
+    checker (:mod:`repro.core.invariants`) fails any report whose
+    counters say data was lost while ``warnings`` stays empty.
+    """
+    return (
+        f"source {name} dropped {stats.dropped} of {stats.received} "
+        f"received items (ingest buffer overflow)"
+    )
+
+
+def buffer_loss_warning(rate: float) -> str:
+    """The report warning recorded for non-zero ingress buffer loss."""
+    return (
+        f"ingress stream buffers overflowed: {rate:.2%} of offered items "
+        f"dropped (see overall_loss_rate)"
+    )
+
+
 # --- ingest accounting ------------------------------------------------------
 
 
@@ -321,6 +375,13 @@ def collect_ingest(report: EngineReport, sources: Iterable) -> None:
     shadow each other). A source's ``ingest_errors`` strings — partial
     failures like a dead worker process — fold into
     :attr:`EngineReport.warnings`.
+
+    Loss visibility, then bounded readability: every source whose
+    counters say it dropped items gets an
+    :func:`ingest_drop_warning`, and the final warning list is
+    collapsed through :func:`repro.core.metrics.dedupe_warnings`
+    (``message ×N``) — chaos runs can repeat one failure hundreds of
+    times. Engines call this as the last step of report assembly.
     """
     for source in sources:
         stats = getattr(source, "ingest_stats", None)
@@ -333,6 +394,10 @@ def collect_ingest(report: EngineReport, sources: Iterable) -> None:
             report.warnings.append(str(error))
         # Supervised sources (ReuseportUdpIngest) count worker respawns.
         report.worker_restarts += int(getattr(source, "restarts", 0) or 0)
+    for key, stats in report.ingest.items():
+        if stats.dropped > 0:
+            report.warnings.append(ingest_drop_warning(key, stats))
+    report.warnings[:] = dedupe_warnings(report.warnings)
 
 
 # --- report assembly --------------------------------------------------------
@@ -347,6 +412,7 @@ _SUMMARY_ZEROS = {
     "chain_lengths": {},
     "records_in": 0,
     "records_stored": 0,
+    "records_invalid": 0,
     "map_entries": 0,
     "overwrites": 0,
     "evictions": 0,
@@ -389,6 +455,7 @@ def stack_summary(
         "chain_lengths": chain_lengths,
         "records_in": sum(p.stats.records_in for p in fillup_processors),
         "records_stored": sum(p.stats.records_stored for p in fillup_processors),
+        "records_invalid": sum(p.stats.invalid for p in fillup_processors),
         "map_entries": storage.total_entries(),
         "overwrites": storage.overwrites(),
         "evictions": storage.evictions(),
@@ -400,6 +467,7 @@ def merge_summaries(
     variant_name: str,
     flow_lane: str = "columnar",
     dns_records: Optional[int] = None,
+    dns_invalid: Optional[int] = None,
     broadcast_overwrites: bool = False,
 ) -> EngineReport:
     """Fold worker-stack summaries into one :class:`EngineReport`.
@@ -407,9 +475,12 @@ def merge_summaries(
     ``dns_records`` overrides the summed ``records_in`` when the engine
     counted DNS records upstream of the stacks (the sharded engine's
     router counts each record once, while broadcast records re-count in
-    every shard). ``broadcast_overwrites=True`` takes the max overwrite
-    count instead of the sum — with broadcast address records every stack
-    observes the same IP-key overwrites, so summing would multiply them.
+    every shard); ``dns_invalid`` overrides the summed
+    ``records_invalid`` for the same reason (the router's wire filter is
+    where sharded decode failures happen). ``broadcast_overwrites=True``
+    takes the max overwrite count instead of the sum — with broadcast
+    address records every stack observes the same IP-key overwrites, so
+    summing would multiply them.
     """
     report = EngineReport(variant_name=variant_name, flow_lane=flow_lane)
     report.total_bytes = sum(s["bytes_in"] for s in summaries)
@@ -420,6 +491,12 @@ def merge_summaries(
         dns_records
         if dns_records is not None
         else sum(s["records_in"] for s in summaries)
+    )
+    # .get: summaries from pre-invalid-count worker builds lack the key.
+    report.dns_invalid = (
+        dns_invalid
+        if dns_invalid is not None
+        else sum(s.get("records_invalid", 0) for s in summaries)
     )
     for summary in summaries:
         for length, count in summary["chain_lengths"].items():

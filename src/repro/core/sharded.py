@@ -206,6 +206,12 @@ class ShardedEngine:
             raise ConfigError("num_shards must be at least 1")
         self.num_shards = shards
         self._dns_records_seen = 0
+        # Router-side decode accounting: the wire filter and the flow
+        # collectors live in the parent's routing threads, not the
+        # shards, so their failure counts must be accumulated here to
+        # reach the report (dns_invalid / flow_decode_errors).
+        self._dns_invalid = 0
+        self._flow_decode_errors = 0
         self._dns_count_lock = threading.Lock()
 
     # --- parent-side routing --------------------------------------------------
@@ -234,6 +240,7 @@ class ShardedEngine:
             router.flush(_DNS)
             with self._dns_count_lock:
                 self._dns_records_seen += seen
+                self._dns_invalid += dns_filter.stats.invalid
 
     def _route_flows(self, source: Iterable, router: _BatchRouter) -> None:
         """Feed one flow source: decode to columns and shard by lookup IP.
@@ -277,6 +284,10 @@ class ShardedEngine:
             for shard, accumulator in enumerate(pending):
                 if len(accumulator):
                     router.send(shard, (_FLOW_COLS, accumulator.columns()))
+            with self._dns_count_lock:
+                self._flow_decode_errors += (
+                    collector.stats.malformed + collector.stats.unknown_version
+                )
 
     def _drain_output(self, out_queue, reports: List[Dict], workers) -> None:
         """Write result rows as they arrive; stop after every shard reports.
@@ -353,6 +364,8 @@ class ShardedEngine:
             worker.start()
 
         self._dns_records_seen = 0
+        self._dns_invalid = 0
+        self._flow_decode_errors = 0
         batch_size = self.config.engine_batch_size
 
         def shard_alive(shard: int) -> bool:
@@ -428,11 +441,13 @@ class ShardedEngine:
             reports,
             variant_name="sharded",
             dns_records=self._dns_records_seen,
+            dns_invalid=self._dns_invalid,
             # Address records are broadcast in BOTH mode, so every shard
             # observes the same IP-key overwrites; summing would multiply
             # the count by num_shards.
             broadcast_overwrites=self.config.direction is FlowDirection.BOTH,
         )
+        report.flow_decode_errors = self._flow_decode_errors
         report.overall_loss_rate = 0.0
         for name, exc in source_errors:
             report.warnings.append(source_failure_warning(name, exc))

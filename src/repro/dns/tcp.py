@@ -39,8 +39,10 @@ class TcpFrameDecoder:
     """Incremental decoder: feed chunks, collect complete messages.
 
     The decoder never raises on partial input — a short read simply
-    waits for more bytes. A zero-length frame is legal per the RFC
-    (and dropped, since an empty DNS message cannot parse anyway).
+    waits for more bytes. A zero-length frame is legal per the RFC but
+    carries no message; it is not emitted, and is tallied in
+    ``empty_frames`` so callers can account for it (an empty DNS
+    message cannot parse, so silently swallowing it would hide loss).
 
     ``max_message_size`` is the corruption guard: a length prefix beyond
     it means the stream has desynchronised (real resolver exports stay
@@ -61,6 +63,7 @@ class TcpFrameDecoder:
         self._corrupt: str = ""
         self.max_message_size = max_message_size
         self.messages_out = 0
+        self.empty_frames = 0
         self.bytes_in = 0
 
     def feed(self, chunk: bytes) -> List[bytes]:
@@ -100,6 +103,8 @@ class TcpFrameDecoder:
             if payload:
                 out.append(payload)
                 self.messages_out += 1
+            else:
+                self.empty_frames += 1
         return out
 
     @property

@@ -12,7 +12,11 @@ subpackage turns a feed into a file and a file back into a feed:
   through any live engine with deterministic DNS-before-flows ordering;
 * :mod:`repro.replay.scenarios` — the scenario library behind the
   golden corpus (``tests/data/golden/``) and ``flowdns capture
-  --scenario``.
+  --scenario``;
+* :mod:`repro.replay.faults` — deterministic, seeded fault injection
+  (:class:`FaultPlan`/:class:`FaultInjector`) perturbing a capture's
+  wire bytes and timing per lane, behind ``flowdns replay
+  --fault-profile`` and :func:`replay_capture`'s ``faults=`` hook.
 """
 
 from repro.replay.capture import (
@@ -29,6 +33,16 @@ from repro.replay.capture import (
     probe_capture,
     read_capture,
     write_capture,
+)
+from repro.replay.faults import (
+    FAULT_PROFILES,
+    FaultedSource,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LaneFaults,
+    parse_fault_specs,
+    resolve_fault_plan,
 )
 from repro.replay.runner import (
     DEFAULT_FILL_TIMEOUT,
@@ -50,7 +64,13 @@ __all__ = [
     "CaptureFrame",
     "CaptureWriter",
     "DEFAULT_FILL_TIMEOUT",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultedSource",
     "GOLDEN_SEED",
+    "LaneFaults",
     "LANES",
     "LANE_DNS",
     "LANE_FLOW",
@@ -64,10 +84,12 @@ __all__ = [
     "fill_gate_warning",
     "gated_with_warning",
     "load_capture",
+    "parse_fault_specs",
     "probe_capture",
     "read_capture",
     "replay_capture",
     "replay_sources",
+    "resolve_fault_plan",
     "write_capture",
     "write_scenario",
 ]

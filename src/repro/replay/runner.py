@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, TextIO
 
 from repro.core.config import EngineConfig, FlowDNSConfig
-from repro.core.metrics import EngineReport
+from repro.core.metrics import EngineReport, dedupe_warnings
 from repro.core.pipeline import (  # noqa: F401 - re-exported replay API
     DEFAULT_FILL_TIMEOUT,
     fill_gate_warning,
@@ -29,6 +29,7 @@ from repro.core.pipeline import (  # noqa: F401 - re-exported replay API
 )
 from repro.core.variants import engine_for
 from repro.replay.capture import probe_capture
+from repro.replay.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from repro.replay.source import CaptureLike, replay_sources
 from repro.util.errors import ConfigError
 
@@ -47,6 +48,8 @@ def replay_capture(
     num_shards: Optional[int] = None,
     fill_timeout: Optional[float] = None,
     on_fill_timeout=None,
+    faults: Optional[FaultPlan | str] = None,
+    fault_seed: Optional[int] = None,
 ) -> EngineReport:
     """Replay a capture (path or frames) through one engine; returns its report.
 
@@ -66,6 +69,14 @@ def replay_capture(
     an offline replay's gaps), but intra-run buffer-occupancy dynamics
     are not faithful — study burst-induced loss under the threaded or
     sharded engine, whose receiver threads sleep independently.
+
+    ``faults`` perturbs the capture *before* it reaches the engine: a
+    :class:`~repro.replay.faults.FaultPlan`, a profile name from
+    :data:`~repro.replay.faults.FAULT_PROFILES`, or None to fall back
+    to the fault fields of an ``EngineConfig`` passed as ``config``.
+    Perturbation is deterministic in ``fault_seed`` — the same seed
+    over the same capture yields bit-identical faulted frames, so the
+    chaos differential harness can compare engines on equal footing.
     """
     if engine not in REPLAY_ENGINES:
         raise ConfigError(
@@ -86,6 +97,21 @@ def replay_capture(
         num_shards = engine_config.shards
     if fill_timeout is None:
         fill_timeout = engine_config.fill_timeout
+    if faults is None and (
+        engine_config.fault_profile or engine_config.fault_rates
+    ):
+        faults = resolve_fault_plan(
+            engine_config.fault_profile, engine_config.fault_rates
+        )
+    elif isinstance(faults, str):
+        faults = resolve_fault_plan(faults, None)
+    if fault_seed is None:
+        fault_seed = engine_config.fault_seed
+    if faults is not None and faults.active:
+        injector = FaultInjector(
+            faults, seed=fault_seed if fault_seed is not None else 0
+        )
+        capture = injector.apply(capture)
     instance = engine_for(engine, config=engine_config, sink=sink, num_shards=num_shards)
     dns_sources, flow_sources = replay_sources(capture, realtime=realtime, speed=speed)
     warnings: List[str] = []
@@ -100,4 +126,5 @@ def replay_capture(
     else:
         report = instance.run(dns_sources, flow_sources, dns_first=True)
     report.warnings.extend(warnings)
+    report.warnings[:] = dedupe_warnings(report.warnings)
     return report

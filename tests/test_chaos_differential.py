@@ -1,0 +1,203 @@
+"""The chaos differential suite: every golden scenario × fault profile
+× engine, watchdogged.
+
+Three guarantees per cell of the matrix:
+
+* the *same* faulted byte stream yields *identical* sorted output rows
+  from every engine (threaded, sharded, async, and async with the
+  snapshot lifecycle enabled) — perturbation happens before the
+  engines, so engine parity must survive hostile input;
+* every report is accounting-invariant-clean
+  (:mod:`repro.core.invariants`) — loss may happen, silent loss may
+  not;
+* no run hangs: every engine run sits behind
+  :func:`call_with_deadline`, so a deadlock is a named test failure,
+  not a CI-level timeout.
+
+Seed reproducibility is asserted at the matrix edge: re-applying the
+same ``(plan, seed)`` to the same capture must reproduce the faulted
+frame list bit-for-bit.
+"""
+
+import io
+import pathlib
+
+import pytest
+
+from repro.core.config import EngineConfig, FlowDNSConfig
+from repro.core.invariants import assert_invariants, call_with_deadline
+from repro.replay import (
+    FAULT_PROFILES,
+    SCENARIOS,
+    FaultInjector,
+    load_capture,
+    replay_capture,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "data" / "golden"
+
+#: One deterministic seed for the whole matrix: any failure reproduces
+#: with `FaultInjector(FAULT_PROFILES[profile], seed=CHAOS_SEED)`.
+#: Chosen so every profile actually perturbs every golden scenario
+#: (both lanes share one derived draw sequence per seed, so an unlucky
+#: seed would zero a low-rate profile across the whole corpus at once).
+CHAOS_SEED = 42
+
+#: Hard per-run deadline. Generous (the runs take well under a second);
+#: its job is turning a hang into a named failure.
+RUN_DEADLINE = 120.0
+
+#: Report fields every engine must agree on under faults. (Unlike the
+#: clean differential, `overwrites` is excluded: duplicated/reordered
+#: DNS frames make the sharded engine's broadcast re-count legitimately
+#: diverge on ties.)
+COMPARABLE_FIELDS = (
+    "matched_flows",
+    "flow_records",
+    "dns_records",
+    "total_bytes",
+    "correlated_bytes",
+)
+
+
+def _rows(sink: io.StringIO):
+    return sorted(
+        line for line in sink.getvalue().splitlines()
+        if line and not line.startswith("#")
+    )
+
+
+def _run_engine(frames, engine, label, config=None, num_shards=None):
+    sink = io.StringIO()
+    report = call_with_deadline(
+        lambda: replay_capture(
+            frames,
+            engine=engine,
+            config=config if config is not None else FlowDNSConfig(),
+            sink=sink,
+            num_shards=num_shards,
+        ),
+        timeout=RUN_DEADLINE,
+        label=label,
+    )
+    rows = _rows(sink)
+    assert_invariants(report, rows=len(rows))
+    return report, rows
+
+
+def _faulted_frames(scenario: str, profile: str):
+    capture = load_capture(str(GOLDEN_DIR / f"{scenario}.fdc"))
+    injector = FaultInjector(FAULT_PROFILES[profile], seed=CHAOS_SEED)
+    frames = injector.apply(capture)
+    # Seed reproducibility: the perturbed stream is a pure function of
+    # (capture, plan, seed) — bit-for-bit.
+    again = FaultInjector(FAULT_PROFILES[profile], seed=CHAOS_SEED).apply(capture)
+    assert frames == again, "same fault seed must reproduce the identical stream"
+    return frames, injector
+
+
+class TestChaosDifferential:
+    @pytest.mark.parametrize("profile", sorted(FAULT_PROFILES))
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_engines_agree_under_faults(self, scenario, profile, tmp_path):
+        frames, injector = _faulted_frames(scenario, profile)
+        # The injector must have actually perturbed something on every
+        # profile (otherwise the matrix silently tests the clean path).
+        touched = sum(
+            s.dropped + s.duplicated + s.reordered + s.corrupted
+            + s.truncated + s.stalled
+            for s in injector.stats.values()
+        )
+        active_skew = any(
+            lane.clock_skew != 0.0
+            for lane in (FAULT_PROFILES[profile].dns, FAULT_PROFILES[profile].flow)
+        )
+        assert touched > 0 or active_skew, (
+            f"profile {profile!r} perturbed nothing on {scenario!r}"
+        )
+
+        label = f"{scenario}×{profile}"
+        baseline, baseline_rows = _run_engine(
+            frames, "threaded", f"threaded:{label}"
+        )
+        legs = [
+            ("sharded", None, {"num_shards": 2}),
+            ("async", None, {}),
+            (
+                "async",
+                EngineConfig(
+                    flowdns=FlowDNSConfig(),
+                    snapshot_path=str(tmp_path / "chaos-snap.bin"),
+                    snapshot_interval=3600.0,
+                ),
+                {},
+            ),
+        ]
+        for engine, config, kwargs in legs:
+            tag = "async+snapshots" if config is not None else engine
+            report, rows = _run_engine(
+                frames, engine, f"{tag}:{label}", config=config, **kwargs
+            )
+            assert rows == baseline_rows, (
+                f"{tag} rows diverged from threaded on {label}"
+            )
+            for fieldname in COMPARABLE_FIELDS:
+                assert getattr(report, fieldname) == getattr(baseline, fieldname), (
+                    f"{tag} {fieldname} diverged on {label}: "
+                    f"{getattr(report, fieldname)!r} != "
+                    f"{getattr(baseline, fieldname)!r}"
+                )
+
+
+class TestChaosEdgeCases:
+    def test_total_flow_loss_stays_clean(self):
+        """Dropping every flow frame leaves zero rows — and a clean,
+        non-hanging report from every engine."""
+        from repro.replay import FaultPlan, LaneFaults
+
+        capture = load_capture(str(GOLDEN_DIR / "two-site.fdc"))
+        plan = FaultPlan(flow=LaneFaults(drop_rate=1.0))
+        frames = FaultInjector(plan, seed=0).apply(capture)
+        for engine, shards in (("threaded", None), ("sharded", 2), ("async", None)):
+            report, rows = _run_engine(
+                frames, engine, f"{engine}:total-flow-loss", num_shards=shards
+            )
+            assert rows == []
+            assert report.flow_records == 0
+            assert report.dns_records > 0
+
+    def test_zero_length_truncation_replays_everywhere(self):
+        """truncate_rate=1.0 produces zero-length frames on both lanes;
+        the capture codec and every decode path must account for them
+        rather than choke."""
+        from repro.replay import FaultPlan
+
+        capture = load_capture(str(GOLDEN_DIR / "malformed.fdc"))
+        plan = FaultPlan.symmetric(truncate_rate=1.0)
+        frames = FaultInjector(plan, seed=0).apply(capture)
+        assert any(len(f.payload) == 0 for f in frames)
+        baseline, baseline_rows = _run_engine(
+            frames, "threaded", "threaded:all-truncated"
+        )
+        for engine, shards in (("sharded", 2), ("async", None)):
+            report, rows = _run_engine(
+                frames, engine, f"{engine}:all-truncated", num_shards=shards
+            )
+            assert rows == baseline_rows
+
+    def test_faulted_capture_round_trips_through_disk(self, tmp_path):
+        """A faulted frame list survives the capture codec, so chaos
+        streams can be persisted and replayed like any capture."""
+        from repro.replay import write_capture
+
+        capture = load_capture(str(GOLDEN_DIR / "bursts.fdc"))
+        frames = FaultInjector(
+            FAULT_PROFILES["everything"], seed=CHAOS_SEED
+        ).apply(capture)
+        path = str(tmp_path / "faulted.fdc")
+        write_capture(path, frames)
+        assert load_capture(path) == frames
+        direct, direct_rows = _run_engine(frames, "async", "async:in-memory")
+        from_disk, disk_rows = _run_engine(path, "async", "async:from-disk")
+        assert disk_rows == direct_rows
+        assert from_disk.flow_records == direct.flow_records

@@ -462,6 +462,109 @@ class TestCaptureReplay:
         assert load_capture(str(capture)) == []
 
 
+class TestFaultCli:
+    """The PR-8 fault-injection surface: list modes, flag validation
+    before any sink opens, and seed-reproducible faulted replay."""
+
+    def _rows(self, path):
+        return sorted(line for line in path.read_text().splitlines()
+                      if not line.startswith("#"))
+
+    def test_list_fault_profiles(self, capsys):
+        rc = main(["replay", "--list-fault-profiles"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.replay import FAULT_PROFILES
+
+        for name in FAULT_PROFILES:
+            assert name in out
+
+    def test_list_scenarios(self, capsys):
+        rc = main(["capture", "--list-scenarios"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        from repro.replay.scenarios import SCENARIOS
+
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_replay_requires_capture_without_list_flag(self, capsys):
+        rc = main(["replay"])
+        assert rc == 2
+        assert "capture path is required" in capsys.readouterr().err
+
+    def test_capture_requires_output_without_list_flag(self, capsys):
+        rc = main(["capture"])
+        assert rc == 2
+        assert "output path is required" in capsys.readouterr().err
+
+    def test_fault_seed_alone_rejected_before_sink_opens(self, tmp_path,
+                                                         capsys):
+        """--fault-seed without a fault plan is a flag mistake: reject it
+        with exit 2 and never truncate an existing output file."""
+        capture = tmp_path / "ok.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        output = tmp_path / "results.tsv"
+        output.write_text("keep me\n")
+        rc = main(["replay", str(capture), "--fault-seed", "3",
+                   "--output", str(output)])
+        assert rc == 2
+        assert "--fault-seed" in capsys.readouterr().err
+        assert output.read_text() == "keep me\n"
+
+    def test_unknown_fault_spec_rejected(self, tmp_path, capsys):
+        capture = tmp_path / "ok.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        output = tmp_path / "results.tsv"
+        output.write_text("keep me\n")
+        rc = main(["replay", str(capture), "--fault", "gremlins=0.5",
+                   "--output", str(output)])
+        assert rc == 2
+        assert "gremlins" in capsys.readouterr().err
+        assert output.read_text() == "keep me\n"
+
+    def test_unknown_fault_profile_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["replay", "x.fdc", "--fault-profile", "apocalypse"])
+
+    def test_faulted_replay_prints_seed_line(self, tmp_path, capsys):
+        capture = tmp_path / "two-site.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        capsys.readouterr()
+        rc = main(["replay", str(capture), "--fault-profile", "lossy-udp",
+                   "--fault-seed", "7", "--output", str(tmp_path / "o.tsv")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "faults injected" in err
+        assert "profile=lossy-udp" in err and "seed=7" in err
+
+    def test_faulted_replay_is_seed_reproducible(self, tmp_path):
+        """Same capture + profile + seed through the CLI twice: identical
+        output rows — the whole point of deterministic injection."""
+        capture = tmp_path / "churn.fdc"
+        assert main(["capture", str(capture), "--scenario", "cname-churn"]) == 0
+        rows = []
+        for run in range(2):
+            output = tmp_path / f"run{run}.tsv"
+            rc = main(["replay", str(capture), "--fault-profile", "everything",
+                       "--fault-seed", "11", "--output", str(output)])
+            assert rc == 0
+            rows.append(self._rows(output))
+        assert rows[0] == rows[1]
+
+    def test_custom_fault_rates_report_custom_profile(self, tmp_path, capsys):
+        capture = tmp_path / "two-site.fdc"
+        assert main(["capture", str(capture), "--scenario", "two-site"]) == 0
+        capsys.readouterr()
+        rc = main(["replay", str(capture), "--fault", "drop=0.1",
+                   "--fault", "duplicate=0.05",
+                   "--output", str(tmp_path / "o.tsv")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "profile=custom" in err and "seed=0" in err
+
+
 class TestFillTimeout:
     def test_flag_parses_with_default(self):
         # argparse keeps None (presence sentinel); the effective default

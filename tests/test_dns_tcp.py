@@ -65,11 +65,22 @@ class TestDecoder:
         assert decoder.feed(stream[:1]) == []
         assert decoder.feed(stream[1:]) == [wire]
 
-    def test_zero_length_frame_skipped(self):
+    def test_zero_length_frame_skipped_but_counted(self):
         decoder = TcpFrameDecoder()
         wire = _wire()
         out = decoder.feed(b"\x00\x00" + frame_message(wire))
         assert out == [wire]
+        # Not silently swallowed: the empty frame lands in a counter the
+        # ingest layer surfaces as malformed input.
+        assert decoder.empty_frames == 1
+        assert decoder.messages_out == 1
+
+    def test_zero_length_frame_split_across_feeds(self):
+        decoder = TcpFrameDecoder()
+        assert decoder.feed(b"\x00") == []
+        assert decoder.feed(b"\x00") == []
+        assert decoder.empty_frames == 1
+        decoder.close()
 
     def test_truncated_close_raises(self):
         decoder = TcpFrameDecoder()
@@ -100,9 +111,11 @@ class TestDecoderProperty:
         for start, end in zip(offsets, offsets[1:]):
             out.extend(decoder.feed(stream[start:end]))
         decoder.close()
-        # Zero-length frames are legal but yield no message.
+        # Zero-length frames are legal but yield no message — and every
+        # one is counted, whatever the chunk boundaries did to it.
         assert out == [p for p in payloads if p]
         assert decoder.messages_out == len(out)
+        assert decoder.empty_frames == sum(1 for p in payloads if not p)
         assert decoder.pending_bytes == 0
         assert decoder.bytes_in == len(stream)
 
@@ -179,6 +192,51 @@ class TestDecoderProperty:
             TcpFrameDecoder(max_message_size=0)
         with pytest.raises(ParseError):
             TcpFrameDecoder(max_message_size=MAX_MESSAGE_SIZE + 1)
+
+
+class TestEmptyFrameAccounting:
+    """Zero-length frames must be counted under *any* chunking, and the
+    ingest layer must surface them as malformed input — the silent-drop
+    regression the chaos truncation profile exposed."""
+
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=60), min_size=1, max_size=10),
+        cuts=st.lists(st.integers(min_value=0, max_value=2 ** 12), max_size=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_empty_frames_counted_under_arbitrary_splits(self, payloads, cuts):
+        stream = frame_messages(payloads)
+        offsets = sorted({min(c, len(stream)) for c in cuts} | {0, len(stream)})
+        decoder = TcpFrameDecoder()
+        for start, end in zip(offsets, offsets[1:]):
+            decoder.feed(stream[start:end])
+        decoder.close()
+        assert decoder.empty_frames == sum(1 for p in payloads if not p)
+        assert decoder.messages_out == sum(1 for p in payloads if p)
+
+    def test_ingest_surfaces_empty_frames_as_malformed(self):
+        from repro.core.async_engine import TcpDnsIngest
+
+        class FakeBuffer:
+            def __init__(self):
+                self.items = []
+
+            def try_put(self, item):
+                self.items.append(item)
+                return True
+
+        ingest = TcpDnsIngest(clock=lambda: 1.0)
+        buffer = FakeBuffer()
+        ingest.connect_buffer(buffer)
+        decoder = TcpFrameDecoder()
+        wire = _wire()
+        assert ingest.feed_chunk(
+            decoder, b"\x00\x00" + frame_message(wire) + b"\x00\x00"
+        )
+        assert ingest.ingest_stats.malformed == 2
+        assert ingest.ingest_stats.received == 1
+        assert ingest.ingest_stats.accepted == 1
+        assert buffer.items == [(1.0, wire)]
 
 
 class TestIterFramed:

@@ -128,6 +128,48 @@ class TestDecoder:
             decoder.close()
 
 
+class TestZeroLengthPayloads:
+    """Zero-length payloads are legal frames (truncation faults produce
+    them); the codec and the replay sources must carry them losslessly."""
+
+    def test_explicit_round_trip(self, tmp_path):
+        frames = [
+            CaptureFrame(1.0, LANE_DNS, b""),
+            CaptureFrame(2.0, LANE_FLOW, b""),
+            CaptureFrame(3.0, LANE_FLOW, b"data"),
+        ]
+        path = str(tmp_path / "empty.fdc")
+        write_capture(path, frames)
+        assert load_capture(path) == frames
+        dns_sources, flow_sources = replay_sources(frames)
+        assert list(dns_sources[0]) == [(1.0, b"")]
+        assert list(flow_sources[0]) == [b"", b"data"]
+
+    @given(
+        frames=_FRAMES,
+        empties=st.lists(
+            st.tuples(_TS, st.sampled_from(LANES)), min_size=1, max_size=4
+        ),
+        cuts=st.lists(st.integers(0, 2 ** 12), max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decoder_handles_guaranteed_empties_under_splits(
+        self, frames, empties, cuts
+    ):
+        frames = list(frames) + [
+            CaptureFrame(ts, lane, b"") for ts, lane in empties
+        ]
+        stream = _stream(frames)
+        offsets = sorted({min(c, len(stream)) for c in cuts} | {0, len(stream)})
+        decoder = CaptureDecoder()
+        out = []
+        for start, end in zip(offsets, offsets[1:]):
+            out.extend(decoder.feed(stream[start:end]))
+        decoder.close()
+        assert out == frames
+        assert decoder.frames_out == len(frames)
+
+
 class TestDecoderProperty:
     @given(frames=_FRAMES, cuts=st.lists(st.integers(0, 2 ** 16), max_size=24))
     @settings(max_examples=120, deadline=None)
