@@ -10,7 +10,12 @@ packet): ``async_udp_flows_per_sec`` must be at least
 The same corpus is also decoded+correlated *offline* through the
 identical lane machinery, giving an inline columnar reference rate; the
 recorded ``live_ingest_gap_ratio`` (columnar ÷ live) tracks how much of
-the remaining gap is socket/loop overhead. A second benchmark runs the
+the remaining gap is socket/loop overhead. Since PR 9 the DNS side runs
+the columnar fill lane too (``TcpDnsIngest`` hands ``(ts, wire)`` tuples
+to ``FillLane``, which batch-decodes them via ``decode_fill_columns``),
+so ``async_dns_msgs_per_sec`` measures the columnar path live and the
+record-only ``dns_live_gap_ratio`` (offline columnar fill ÷ live rate)
+mirrors the flow lane's gap metric. A second benchmark runs the
 multi-process SO_REUSEPORT source (``reuseport_udp_flows_per_sec``) —
 record-only on small runners, gated at ≥ 0.5× the inline columnar rate
 when the machine has the cores to host the workers.
@@ -150,6 +155,20 @@ def _offline_columnar_rate(datagrams, n_flows, chunk=64):
     return n_flows / elapsed if elapsed > 0 else 0.0
 
 
+def _offline_dns_fill_rate(wires, chunk=256):
+    """Decode+store the same DNS corpus through the same columnar fill
+    lane, no sockets or event loop: the inline reference rate the live
+    TCP path is compared against (``dns_live_gap_ratio``)."""
+    storage = DnsStorage(FlowDNSConfig())
+    lane = FillLane(FillUpProcessor(storage))
+    items = [(5.0, wire) for wire in wires]
+    t0 = time.perf_counter()
+    for start in range(0, len(items), chunk):
+        lane.process_items(items[start:start + chunk])
+    elapsed = time.perf_counter() - t0
+    return len(wires) / elapsed if elapsed > 0 else 0.0
+
+
 def test_async_live_ingest_throughput(benchmark=None):
     wires = _dns_wires()
     n_flows, datagrams = _flow_datagrams()
@@ -206,11 +225,16 @@ def test_async_live_ingest_throughput(benchmark=None):
     flow_rate = flows_seen / flow_elapsed if flow_elapsed > 0 else 0.0
     columnar_rate = _offline_columnar_rate(datagrams, n_flows)
     gap_ratio = columnar_rate / flow_rate if flow_rate > 0 else float("inf")
+    dns_fill_rate = _offline_dns_fill_rate(wires)
+    dns_gap_ratio = dns_fill_rate / dns_rate if dns_rate > 0 else float("inf")
     record_bench("async_dns_msgs_per_sec", round(dns_rate))
     record_bench("async_udp_flows_per_sec", round(flow_rate))
     record_bench("async_ingest_loss_rate", round(report.overall_loss_rate, 6))
     record_bench("live_ingest_gap_ratio", round(gap_ratio, 3))
+    record_bench("dns_live_gap_ratio", round(dns_gap_ratio, 3))
     print(f"\nasync live ingest: dns={dns_rate:,.0f} rec/s "
+          f"(columnar fill offline {dns_fill_rate:,.0f} msg/s, "
+          f"gap {dns_gap_ratio:.2f}x) "
           f"udp flows={flow_rate:,.0f} rec/s "
           f"(columnar offline {columnar_rate:,.0f} rec/s, "
           f"gap {gap_ratio:.2f}x, ingested {flows_seen}/{n_flows} flows, "

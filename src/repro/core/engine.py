@@ -201,7 +201,12 @@ class ThreadedEngine:
             for _ in range(cfg.fillup_workers_per_stream):
                 processor = FillUpProcessor(self.storage)
                 self._fillup_processors.append(processor)
-                lane = FillLane(processor, self.storage, exact_ttl=cfg.exact_ttl)
+                lane = FillLane(
+                    processor,
+                    self.storage,
+                    exact_ttl=cfg.exact_ttl,
+                    columnar=cfg.dns_fill_columnar,
+                )
                 t = threading.Thread(
                     target=self._fillup_worker, args=(stream, lane), daemon=True
                 )

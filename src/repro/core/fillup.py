@@ -26,6 +26,12 @@ class FillUpStats:
     records_in: int = 0
     records_stored: int = 0
     records_skipped: int = 0
+    #: RRs skipped inside otherwise-valid responses for carrying an
+    #: rtype/rclass outside the enums (SVCB/HTTPS/EDNS OPT). Counted
+    #: only for messages that pass the response/NOERROR filter — the
+    #: columnar path short-circuits rejected messages before walking
+    #: their sections, and the two paths must count identically.
+    records_unknown_type: int = 0
 
 
 class FillUpProcessor:
@@ -56,6 +62,12 @@ class FillUpProcessor:
         else:
             message = payload
         records = records_from_message(ts, message)
+        if message.is_response and message.header.rcode == 0:
+            # Same gate the columnar decoder applies: rejected messages
+            # (queries, error rcodes) never have their sections walked
+            # there, so their unknown-RR counts must not surface here
+            # either.
+            self.stats.records_unknown_type += message.unknown_records
         if not records:
             self.stats.invalid += 1
         return records
@@ -98,3 +110,24 @@ class FillUpProcessor:
         self.stats.records_stored += len(storable)
         self.stats.records_skipped += len(batch) - len(storable)
         return len(storable)
+
+    def process_columns(self, batch) -> int:
+        """The columnar fill path: one :class:`~repro.dns.columnar.DnsBatch`
+        straight into storage.
+
+        Equivalent to :meth:`filter_message` per payload followed by one
+        :meth:`process_batch` — same counters, same stored set — but the
+        batch already carries the per-message accounting from
+        :func:`repro.dns.columnar.decode_fill_columns` and every row is
+        storable by construction (the decoder only emits A/AAAA/CNAME
+        answers). Returns how many records were stored.
+        """
+        self.stats.raw_messages += batch.messages
+        self.stats.invalid += batch.invalid
+        self.stats.records_unknown_type += batch.unknown_records
+        stored = len(batch)
+        if stored:
+            self.storage.add_many_columns(batch)
+        self.stats.records_in += stored
+        self.stats.records_stored += stored
+        return stored

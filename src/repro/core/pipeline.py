@@ -5,10 +5,12 @@ processes (:class:`repro.core.sharded.ShardedEngine`), or a single
 asyncio loop (:class:`repro.core.async_engine.AsyncEngine`) — runs the
 same two lanes from the paper's Figure 1:
 
-* the **fill lane** (DNS): normalise stream items into
-  :class:`DnsRecord` s (wire payloads go through the FillUp filter),
-  then store them — per-record with expiry sweeps in exact-TTL mode,
-  batched otherwise;
+* the **fill lane** (DNS): batch a wake-up's raw wire payloads into one
+  :class:`~repro.dns.columnar.DnsBatch` via the selective columnar
+  decoder and store its columns directly (non-wire items — records,
+  decoded messages — take the object FillUp filter); per-record with
+  expiry sweeps in exact-TTL mode, which always stays on the reference
+  object path;
 * the **lookup lane** (Netflow): normalise stream items (raw export
   datagrams, :class:`FlowRecord` objects, or whole :class:`FlowBatch`
   es) into one columnar batch per wake-up, correlate it, and hand the
@@ -32,6 +34,7 @@ from repro.core.fillup import FillUpProcessor
 from repro.core.lookup import CorrelationBatch, LookUpProcessor
 from repro.core.metrics import EngineReport, IngestStats, dedupe_warnings
 from repro.core.storage_adapter import DnsStorage
+from repro.dns.columnar import decode_fill_columns
 from repro.dns.stream import DnsRecord
 from repro.netflow.collector import FlowCollector
 from repro.netflow.records import FlowBatch, FlowRecord
@@ -220,22 +223,32 @@ def flow_items_to_batch(items: Iterable, collector: FlowCollector) -> FlowBatch:
 class FillLane:
     """The DNS fill stage: items → validated records → storage.
 
-    Exact-TTL mode keeps per-record processing and per-record sweeps:
-    the A.8 experiment's result *is* the sweep-cost meltdown, so its
-    timing must not be amortised away.
+    The default path is columnar: a wake-up's raw wire payloads
+    accumulate into one :class:`~repro.dns.columnar.DnsBatch` (the DNS
+    twin of the shape :class:`LookupLane` feeds
+    ``correlate_batch_columns``) and go to storage without materialising
+    a single per-record object. ``columnar=False`` keeps the object
+    reference path (``filter_message`` → ``process_batch``) the
+    differential suite compares against.
+
+    Exact-TTL mode always keeps per-record processing and per-record
+    sweeps: the A.8 experiment's result *is* the sweep-cost meltdown,
+    so its timing must not be amortised away.
     """
 
-    __slots__ = ("processor", "storage", "exact_ttl")
+    __slots__ = ("processor", "storage", "exact_ttl", "columnar")
 
     def __init__(
         self,
         processor: FillUpProcessor,
         storage: Optional[DnsStorage] = None,
         exact_ttl: bool = False,
+        columnar: bool = True,
     ):
         self.processor = processor
         self.storage = storage if storage is not None else processor.storage
         self.exact_ttl = exact_ttl
+        self.columnar = columnar and not exact_ttl
 
     def process_records(self, records: Sequence[DnsRecord]) -> None:
         """Store already-normalised records (one batch round-trip)."""
@@ -248,12 +261,64 @@ class FillLane:
         else:
             self.processor.process_batch(records)
 
+    def process_columns(self, batch) -> None:
+        """Store one already-decoded :class:`~repro.dns.columnar.DnsBatch`.
+
+        The sharded engine's shards receive pre-partitioned column
+        tuples over IPC and land here. In exact-TTL mode rows rehydrate
+        to records so the per-record store + sweep cadence is preserved.
+        """
+        if self.exact_ttl:
+            stats = self.processor.stats
+            stats.raw_messages += batch.messages
+            stats.invalid += batch.invalid
+            stats.records_unknown_type += batch.unknown_records
+            for i in range(len(batch)):
+                record = batch.record(i)
+                self.processor.process(record)
+                self.storage.tick(record.ts)
+            return
+        self.processor.process_columns(batch)
+
     def process_items(self, items: Iterable) -> None:
         """Normalise and store one wake-up's worth of stream items."""
-        records: List[DnsRecord] = []
+        if not self.columnar:
+            records: List[DnsRecord] = []
+            for item in items:
+                records.extend(dns_item_records(item, self.processor))
+            self.process_records(records)
+            return
+        # Columnar: contiguous runs of (ts, wire) items batch-decode
+        # straight to columns; anything else (DnsRecord objects, decoded
+        # messages) takes the object path. Runs flush on kind switches so
+        # storage sees items in arrival order — overwrite and clear-up
+        # semantics are order-sensitive.
+        payloads: List = []
+        stamps: List[float] = []
+        records = []
         for item in items:
+            if (
+                type(item) is tuple
+                and len(item) == 2
+                and isinstance(item[1], (bytes, bytearray, memoryview))
+            ):
+                if records:
+                    self.process_records(records)
+                    records = []
+                stamps.append(item[0])
+                payloads.append(item[1])
+                continue
+            if payloads:
+                self.processor.process_columns(
+                    decode_fill_columns(payloads, stamps)
+                )
+                payloads = []
+                stamps = []
             records.extend(dns_item_records(item, self.processor))
-        self.process_records(records)
+        if payloads:
+            self.processor.process_columns(decode_fill_columns(payloads, stamps))
+        if records:
+            self.process_records(records)
 
 
 class LookupLane:

@@ -65,6 +65,8 @@ from repro.core.pipeline import (
 )
 from repro.core.storage_adapter import DnsStorage
 from repro.core.writer import HEADER, format_batch, format_result
+from repro.dns.columnar import DnsBatch, decode_fill_columns
+from repro.dns.rr import RRType
 from repro.netflow.collector import FlowCollector
 from repro.netflow.records import FlowBatch, FlowDirection
 from repro.util.errors import ConfigError
@@ -78,9 +80,18 @@ _REPORT = 3
 #: columnar lane's IPC payload — one tuple of lists per batch, no object
 #: graph for pickle to walk.
 _FLOW_COLS = 4
+#: A DNS batch as flat primitive columns (``DnsBatch.columns()``): the
+#: fill lane's columnar IPC payload. The router decodes wire payloads
+#: once, partitions the rows by answer hash, and ships per-shard column
+#: tuples whose message counters are zero — the router already counted
+#: messages/invalid/unknowns, shards only store rows.
+_DNS_COLS = 5
 
 #: Bounded batches buffered per shard input queue (backpressure depth).
 _QUEUE_DEPTH = 16
+
+#: The raw wire value the columnar rtype column stores for CNAME rows.
+_CNAME_TYPE = int(RRType.CNAME)
 
 
 def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
@@ -92,7 +103,10 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
     storage = DnsStorage(config)
     fillup = FillUpProcessor(storage)
     lookup = LookUpProcessor(storage, config)
-    fill_lane = FillLane(fillup, storage, exact_ttl=config.exact_ttl)
+    fill_lane = FillLane(
+        fillup, storage, exact_ttl=config.exact_ttl,
+        columnar=config.dns_fill_columnar,
+    )
     lookup_lane = LookupLane(lookup)
     error: Optional[str] = None
     try:
@@ -103,6 +117,8 @@ def _shard_worker(shard_id, config, in_queue, out_queue, want_rows) -> None:
             kind, batch = message
             if kind == _DNS:
                 fill_lane.process_records(batch)
+            elif kind == _DNS_COLS:
+                fill_lane.process_columns(DnsBatch.from_columns(batch))
             elif kind == _FLOW_COLS:
                 correlated = lookup_lane.correlate_batch(FlowBatch.from_columns(batch))
                 if want_rows and correlated is not None:
@@ -217,15 +233,88 @@ class ShardedEngine:
     # --- parent-side routing --------------------------------------------------
 
     def _route_dns(self, source: Iterable, router: _BatchRouter) -> None:
-        """Feed one DNS source: filter, count, and shard its records."""
+        """Feed one DNS source: filter, count, and shard its records.
+
+        Wire payloads take the columnar lane: batches of raw payloads
+        decode once (in the router, where the wire filter has always
+        lived) via :func:`decode_fill_columns`, rows partition into
+        per-shard :class:`DnsBatch` accumulators by the same answer
+        hash the record path routes on (CNAME rows broadcast — chains
+        are name-keyed and may be walked from any shard), and each full
+        accumulator crosses IPC as one flat column tuple. Non-wire
+        items (records, decoded messages) keep the object path; runs
+        flush on kind switches so every shard queue preserves arrival
+        order. Exact-TTL runs stay entirely on the record path — the
+        shards' per-record store+sweep cadence is the A.8 subject.
+        """
         broadcast_addresses = self.config.direction is FlowDirection.BOTH
         num_shards = self.num_shards
+        cname_type = _CNAME_TYPE
+        columnar = self.config.dns_fill_columnar and not self.config.exact_ttl
+        batch_size = self.config.engine_batch_size
         # A storage-less processor gives us the same wire filter the
         # threaded engine applies; it only ever touches its stats here.
         dns_filter = FillUpProcessor(storage=None)
+        payloads: List = []
+        stamps: List[float] = []
+        pending_cols = [DnsBatch() for _ in range(num_shards)]
         seen = 0
+
+        def flush_columns() -> None:
+            """Decode the pending wire run and partition its rows."""
+            nonlocal seen
+            if not payloads:
+                return
+            batch = decode_fill_columns(payloads, stamps)
+            payloads.clear()
+            stamps.clear()
+            seen += len(batch)
+            # The router is where the wire filter lives; its stats stay
+            # truthful whichever decode path a run takes.
+            stats = dns_filter.stats
+            stats.raw_messages += batch.messages
+            stats.invalid += batch.invalid
+            stats.records_unknown_type += batch.unknown_records
+            rtypes = batch.rtype
+            answers = batch.rdata_text
+            for i in range(len(rtypes)):
+                if rtypes[i] == cname_type or broadcast_addresses:
+                    targets = range(num_shards)
+                else:
+                    targets = (ip_label(answers[i]) % num_shards,)
+                for shard in targets:
+                    accumulator = pending_cols[shard]
+                    accumulator.append_from(batch, i)
+                    if len(accumulator) >= batch_size:
+                        router.send(shard, (_DNS_COLS, accumulator.columns()))
+                        pending_cols[shard] = DnsBatch()
+
+        def ship_partials() -> None:
+            """Send every non-empty per-shard accumulator."""
+            for shard, accumulator in enumerate(pending_cols):
+                if len(accumulator):
+                    router.send(shard, (_DNS_COLS, accumulator.columns()))
+                    pending_cols[shard] = DnsBatch()
+
         try:
             for item in source:
+                if (
+                    columnar
+                    and type(item) is tuple
+                    and len(item) == 2
+                    and isinstance(item[1], (bytes, bytearray, memoryview))
+                ):
+                    # Entering a wire run: object-path batches already
+                    # routed must hit the queues first (order matters for
+                    # overwrites and clear-up boundaries).
+                    router.flush(_DNS)
+                    stamps.append(item[0])
+                    payloads.append(item[1])
+                    if len(payloads) >= batch_size:
+                        flush_columns()
+                    continue
+                flush_columns()
+                ship_partials()
                 for record in dns_item_records(item, dns_filter):
                     seen += 1
                     if record.is_cname or (record.is_address and broadcast_addresses):
@@ -237,6 +326,8 @@ class ShardedEngine:
         finally:
             # Also on a raising source: records already routed must reach
             # their shards, and the router-side count stays truthful.
+            flush_columns()
+            ship_partials()
             router.flush(_DNS)
             with self._dns_count_lock:
                 self._dns_records_seen += seen

@@ -13,9 +13,13 @@ from typing import Dict, Iterable, Optional
 
 from repro.core.config import FlowDNSConfig
 from repro.core.labeler import ip_label, name_label
+from repro.dns.rr import RRType
 from repro.dns.stream import DnsRecord
 from repro.storage.exact_ttl import ExactTtlStore
 from repro.storage.rotating import StoreBank
+
+#: The raw wire value the columnar rtype column stores for CNAME rows.
+_CNAME_TYPE = int(RRType.CNAME)
 
 
 class DnsStorage:
@@ -99,6 +103,46 @@ class DnsStorage:
                 cname_entries.append(
                     (name_label(record.answer), record.answer, record.query,
                      record.ttl, record.ts)
+                )
+        if self._ip_exact is not None:
+            if ip_entries:
+                self._ip_exact.put_many(ip_entries)
+            if cname_entries:
+                self._cname_exact.put_many(cname_entries)
+            return
+        if ip_entries:
+            self._ip_bank.put_many(ip_entries)
+        if cname_entries:
+            self._cname_bank.put_many(cname_entries)
+
+    def add_many_columns(self, batch) -> None:
+        """Batched Algorithm-1 insert straight from DnsBatch columns.
+
+        The columnar twin of :meth:`add_many`: same entry tuples, same
+        bank routing (including the exact-TTL branch), same one-lock-
+        round-trip-per-shard batching via ``put_many`` — but reading
+        parallel columns instead of ``DnsRecord`` attributes/properties.
+        Labels come from the same cached FNV hashers, and because the
+        decoder interned every name and IP text, the label caches and
+        map-key hashing share objects with the reference path.
+        """
+        names = batch.name
+        rtypes = batch.rtype
+        ttls = batch.ttl
+        answers = batch.rdata_text
+        stamps = batch.ts
+        cname_type = _CNAME_TYPE
+        ip_entries = []
+        cname_entries = []
+        for i in range(len(names)):
+            answer = answers[i]
+            if rtypes[i] == cname_type:
+                cname_entries.append(
+                    (name_label(answer), answer, names[i], ttls[i], stamps[i])
+                )
+            else:
+                ip_entries.append(
+                    (ip_label(answer), answer, names[i], ttls[i], stamps[i])
                 )
         if self._ip_exact is not None:
             if ip_entries:

@@ -119,6 +119,11 @@ class DnsMessage:
     answers: List[ResourceRecord] = field(default_factory=list)
     authorities: List[ResourceRecord] = field(default_factory=list)
     additionals: List[ResourceRecord] = field(default_factory=list)
+    #: Records skipped during decode for carrying an rtype or rclass
+    #: outside the enums (SVCB/HTTPS/EDNS-class OPT in real resolver
+    #: traffic). Skip-and-count, never ParseError: one exotic record
+    #: must not discard the A/CNAME answers riding in the same message.
+    unknown_records: int = 0
 
     @property
     def is_response(self) -> bool:
@@ -194,20 +199,29 @@ def _decode_question(
 
 def _decode_rr(
     data: WireData, offset: int, cache: Optional[NameCache]
-) -> Tuple[ResourceRecord, int]:
+) -> Tuple[Optional[ResourceRecord], int]:
+    """Decode one RR; ``(None, next_offset)`` for unknown rtype/rclass.
+
+    Real resolver traffic carries OPT (EDNS puts the UDP size in the
+    class field), SVCB/HTTPS and other types outside the enums alongside
+    the A/CNAME answers FillUp wants — those records skip by rdlength
+    (and count into :attr:`DnsMessage.unknown_records`) instead of
+    invalidating the whole message. The structural bounds checks still
+    apply: a skipped record whose rdlength overruns the message is
+    corruption, not exotica.
+    """
     name, offset = decode_name(data, offset, cache)
     if offset + _RRFIXED.size > len(data):
         raise ParseError("truncated resource record")
     rtype_raw, rclass_raw, ttl, rdlength = _RRFIXED.unpack_from(data, offset)
     offset += _RRFIXED.size
+    if offset + rdlength > len(data):
+        raise ParseError("RDATA overruns message")
     try:
         rtype = RRType(rtype_raw)
-    except ValueError as exc:
-        raise ParseError(f"unknown rtype {rtype_raw}") from exc
-    try:
         rclass = RClass(rclass_raw)
-    except ValueError as exc:
-        raise ParseError(f"unknown rclass {rclass_raw}") from exc
+    except ValueError:
+        return None, offset + rdlength
     rdata = decode_rdata(rtype, data, offset, rdlength, cache)
     return ResourceRecord(name, rtype, rclass, ttl, rdata), offset + rdlength
 
@@ -235,5 +249,8 @@ def decode_message(data: WireData, use_name_cache: bool = True) -> DnsMessage:
     for count, section in ((an, msg.answers), (ns, msg.authorities), (ar, msg.additionals)):
         for _ in range(count):
             rr, offset = _decode_rr(buf, offset, cache)
-            section.append(rr)
+            if rr is None:
+                msg.unknown_records += 1
+            else:
+                section.append(rr)
     return msg

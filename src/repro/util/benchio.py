@@ -5,7 +5,7 @@ real ratios on whatever machine runs them; this module lets each gate
 drop its numbers into one JSON file so CI can upload the file as an
 artifact and the perf trajectory accumulates across PRs.
 
-The default file name is parameterised per PR (``BENCH_pr8.json`` for
+The default file name is parameterised per PR (``BENCH_pr9.json`` for
 this one; ``$BENCH_JSON`` still overrides). Measurement *keys* are
 stable across PRs — the PR 2 gates keep writing their
 ``v9_decode_speedup``/``engine_batched_speedup``/… entries into the
@@ -19,7 +19,7 @@ import json
 import os
 from typing import Optional
 
-DEFAULT_BENCH_FILE = "BENCH_pr8.json"
+DEFAULT_BENCH_FILE = "BENCH_pr9.json"
 
 
 def bench_file_path(path: Optional[str] = None) -> str:

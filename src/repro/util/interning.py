@@ -73,7 +73,14 @@ def cached_ip_text(raw: IPAddressLike) -> str:
     """
     text = _ip_texts.get(raw)
     if text is None:
-        if isinstance(raw, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+        if type(raw) is bytes and len(raw) == 4:
+            # Packed IPv4: every 4-byte value is a valid address and its
+            # canonical spelling is plain dotted-quad — no need to round
+            # trip through an ipaddress object on first sight. (IPv6
+            # stays on ipaddress: its :: compression rules are not worth
+            # reimplementing.)
+            text = intern_string("%d.%d.%d.%d" % (raw[0], raw[1], raw[2], raw[3]))
+        elif isinstance(raw, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
             text = intern_string(str(raw))
         else:
             text = intern_string(str(ipaddress.ip_address(raw)))
