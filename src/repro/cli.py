@@ -18,6 +18,12 @@ Subcommands:
   library in :mod:`repro.replay.scenarios`;
 * ``flowdns replay`` — feed a capture through any live engine
   (threaded, sharded, async), timestamp-faithful or at max speed;
+* ``flowdns generate`` — synthesize an internet-scale workload capture:
+  Zipf domain popularity, heavy-tailed flow sizes, Poisson arrivals,
+  streamed to disk in bounded memory;
+* ``flowdns sweep`` — generate a parameter grid of workloads and replay
+  every point through the requested engines and fault profiles,
+  recording per-config rows into the bench JSON;
 * ``flowdns analyze`` — post-process a FlowDNS output file: per-service
   volume, RFC 1035 violations, correlation rate.
 
@@ -666,6 +672,198 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _add_workload_base_options(p) -> None:
+    """Workload knobs `generate` and `sweep` share (None defaults:
+    :meth:`GeneratorParams.from_args` owns the effective values)."""
+    from repro.workloads.generator import SIZE_CDFS, TTL_PROFILES
+
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default: 0); with the same config, "
+                        "the output capture is byte-identical per seed")
+    p.add_argument("--duration", type=float, default=None,
+                   help="trace seconds to synthesize (default: 60)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="aggregate resolution events/s (mutually exclusive "
+                        "with --per-client-rate, which it overrides)")
+    p.add_argument("--per-client-rate", type=float, default=None,
+                   help="resolution events/s per client (default: 0.02)")
+    p.add_argument("--domains", type=int, default=None, dest="n_domains",
+                   help="benign domain-universe size (default: 400)")
+    p.add_argument("--flow-size-cdf", choices=sorted(SIZE_CDFS), default=None,
+                   help="flow-size distribution (default: websearch)")
+    p.add_argument("--ttl-profile", choices=sorted(TTL_PROFILES), default=None,
+                   help="TTL distribution profile (default: paper)")
+    p.add_argument("--cdn-count", type=int, default=None,
+                   help="shared-pool CDN providers on top of the dedicated "
+                        "streaming CDNs (default: 3)")
+    p.add_argument("--aaaa-fraction", type=float, default=None,
+                   help="fraction of resolutions answered with AAAA "
+                        "(default: 0.1)")
+    p.add_argument("--public-resolver-fraction", type=float, default=None,
+                   help="fraction of resolutions FlowDNS never sees (flows "
+                        "still happen; match rate drops; default: 0)")
+    p.add_argument("--diurnal-amplitude", type=float, default=None,
+                   help="diurnal rate modulation amplitude in [0,1) "
+                        "(default: 0 = flat Poisson)")
+
+
+def _list_workload_tables(args) -> bool:
+    """Handle --list-size-cdfs / --list-ttl-profiles; True if one ran."""
+    from repro.workloads.generator import SIZE_CDFS, TTL_PROFILES, SizeCdf
+    from repro.workloads.ttl_model import ADDRESS_TTL_WEIGHTS
+
+    if getattr(args, "list_size_cdfs", False):
+        for name in sorted(SIZE_CDFS):
+            cdf = SizeCdf.named(name)
+            print(f"{name:<12s} mean={format_bytes(round(cdf.mean())):>10s}  "
+                  f"max={format_bytes(cdf.sizes[-1])}")
+        return True
+    if getattr(args, "list_ttl_profiles", False):
+        for name in sorted(TTL_PROFILES):
+            weights = TTL_PROFILES[name]
+            address = weights[0] if weights is not None else ADDRESS_TTL_WEIGHTS
+            ttls = ", ".join(str(t) for t, _ in address)
+            print(f"{name:<8s} address TTLs: {ttls}")
+        return True
+    return False
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "generate",
+        help="synthesize an internet-scale workload capture (streamed, "
+             "bounded memory)",
+    )
+    p.add_argument("output", nargs="?", default=None,
+                   help="capture file to write")
+    p.add_argument("--clients", type=int, default=None,
+                   help="client population size (default: 5000; max ~4.2M "
+                        "— the CGNAT /10)")
+    p.add_argument("--zipf-alpha", type=float, default=None,
+                   help="domain-popularity Zipf exponent (default: 0.9)")
+    p.add_argument("--chain-depth", type=int, default=None,
+                   help="max CNAME-chain depth; the paper's Figure 6 "
+                        "distribution truncated + renormalised (default: 4)")
+    _add_workload_base_options(p)
+    p.add_argument("--list-size-cdfs", action="store_true",
+                   help="list the named flow-size CDFs and exit")
+    p.add_argument("--list-ttl-profiles", action="store_true",
+                   help="list the named TTL profiles and exit")
+    p.set_defaults(func=cmd_generate)
+
+
+def cmd_generate(args) -> int:
+    from repro.util.errors import ConfigError
+    from repro.workloads.generator import GeneratorParams, generate_capture
+
+    if _list_workload_tables(args):
+        return 0
+    if args.output is None:
+        print("generate: an output path is required (or --list-size-cdfs / "
+              "--list-ttl-profiles)", file=sys.stderr)
+        return 2
+    try:
+        params = GeneratorParams.from_args(args)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = generate_capture(params, args.output)
+    print(f"wrote {args.output}: {report.flows:,} flows, "
+          f"{report.dns_frames:,} dns frames "
+          f"({format_bytes(report.wire_bytes)}) in {report.elapsed:.1f}s "
+          f"({report.flows_per_sec:,.0f} flows/s, "
+          f"peak {report.peak_pending:,} flows buffered)", file=sys.stderr)
+    if report.invisible_resolutions:
+        print(f"  {report.invisible_resolutions:,} resolutions via public "
+              "resolvers (flows without DNS coverage)", file=sys.stderr)
+    return 0
+
+
+def _add_sweep(subparsers) -> None:
+    from repro.replay.faults import FAULT_PROFILES
+    from repro.replay.runner import REPLAY_ENGINES
+
+    p = subparsers.add_parser(
+        "sweep",
+        help="generate a workload grid and replay it through engines and "
+             "fault profiles, recording bench rows",
+    )
+    p.add_argument("out_dir", nargs="?", default=None,
+                   help="directory for the grid's capture files")
+    p.add_argument("--clients", type=int, nargs="+", default=None,
+                   dest="clients_axis", metavar="N",
+                   help="client-count axis (default: 2000)")
+    p.add_argument("--zipf-alpha", type=float, nargs="+", default=None,
+                   dest="zipf_axis", metavar="A",
+                   help="Zipf-exponent axis (default: 0.9)")
+    p.add_argument("--chain-depth", type=int, nargs="+", default=None,
+                   dest="depth_axis", metavar="D",
+                   help="CNAME-chain-depth axis (default: 4)")
+    p.add_argument("--engine", choices=REPLAY_ENGINES, nargs="+",
+                   default=None, dest="engines",
+                   help="engines to replay each point through "
+                        "(default: all three)")
+    p.add_argument("--fault-profile", nargs="+", default=None,
+                   dest="fault_profiles", metavar="PROFILE",
+                   choices=sorted(FAULT_PROFILES) + ["none"],
+                   help="fault-profile legs; 'none' = fault-free baseline "
+                        "(default: none)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="seed for the fault legs' deterministic RNG")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker processes for the sharded engine's legs")
+    _add_fill_timeout(p)
+    _add_workload_base_options(p)
+    p.add_argument("--bench", default=None, metavar="PATH",
+                   help="bench JSON to record the row list into "
+                        "(default: $BENCH_JSON or the per-PR file)")
+    p.add_argument("--keep-captures", action="store_true",
+                   help="keep the generated capture files after their legs "
+                        "finish")
+    p.add_argument("--list-fault-profiles", action="store_true",
+                   help="list the named fault profiles and exit")
+    p.set_defaults(func=cmd_sweep)
+
+
+def cmd_sweep(args) -> int:
+    from repro.replay.faults import FAULT_PROFILES
+    from repro.util.errors import ConfigError
+    from repro.workloads.sweep import SweepSpec, run_sweep
+
+    if args.list_fault_profiles:
+        for name in sorted(FAULT_PROFILES):
+            print(f"{name:<18s} {FAULT_PROFILES[name].description}")
+        return 0
+    if args.out_dir is None:
+        print("sweep: an output directory is required "
+              "(or --list-fault-profiles)", file=sys.stderr)
+        return 2
+    try:
+        spec = SweepSpec.from_args(args)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    def say(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    rows = run_sweep(
+        spec,
+        args.out_dir,
+        bench_path=args.bench,
+        log=say,
+        keep_captures=bool(args.keep_captures),
+    )
+    print(f"{'clients':>8s} {'alpha':>6s} {'depth':>5s} {'engine':<9s} "
+          f"{'faults':<12s} {'flows':>9s} {'match':>6s} {'loss':>6s}")
+    for row in rows:
+        print(f"{row['clients']:>8d} {row['zipf_alpha']:>6.2f} "
+              f"{row['chain_depth']:>5d} {row['engine']:<9s} "
+              f"{row['fault_profile']:<12s} {row['generated_flows']:>9,d} "
+              f"{row['match_rate']:>6.1%} {row['loss_rate']:>6.1%}")
+    return 0
+
+
 def _add_analyze(subparsers) -> None:
     p = subparsers.add_parser("analyze", help="analyze a FlowDNS output TSV")
     p.add_argument("output_file")
@@ -807,6 +1005,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_capture(subparsers)
     _add_replay(subparsers)
+    _add_generate(subparsers)
+    _add_sweep(subparsers)
     _add_analyze(subparsers)
     _add_figures(subparsers)
     _add_mapping_template(subparsers)

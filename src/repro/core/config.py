@@ -252,6 +252,48 @@ class EngineConfig:
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    @classmethod
+    def for_replay_leg(
+        cls,
+        engine: str,
+        shards: Optional[int] = None,
+        fill_timeout: Optional[float] = None,
+        fault_profile: Optional[str] = None,
+        fault_seed: Optional[int] = None,
+    ) -> "EngineConfig":
+        """Build the config for one programmatic replay leg.
+
+        The sweep driver's (and differential harnesses') equivalent of
+        :meth:`from_args`: the same per-engine applicability rules —
+        ``shards`` only means anything to the sharded engine,
+        ``fill_timeout`` only to the threaded gate, a fault seed needs a
+        fault plan — enforced for callers that assemble legs in code
+        rather than from flags, so a sweep axis that silently would not
+        apply fails loudly instead of producing a misleading row.
+        """
+        if engine not in ("threaded", "sharded", "async"):
+            raise ConfigError(f"unknown replay engine {engine!r}")
+        if shards is not None and engine != "sharded":
+            raise ConfigError("shards only apply to the sharded engine")
+        if fill_timeout is not None and engine != "threaded":
+            raise ConfigError(
+                "fill_timeout only applies to the threaded engine (the "
+                "other engines order DNS before flows without a gate)"
+            )
+        if fault_seed is not None and fault_profile is None:
+            raise ConfigError(
+                "fault_seed requires a fault_profile; a seed alone "
+                "injects nothing"
+            )
+        return cls(
+            shards=shards,
+            fill_timeout=(
+                fill_timeout if fill_timeout is not None else DEFAULT_FILL_TIMEOUT
+            ),
+            fault_profile=fault_profile,
+            fault_seed=fault_seed if fault_profile is not None else None,
+        )
+
     # --- CLI flag interpretation ----------------------------------------
 
     @classmethod

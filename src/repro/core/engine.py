@@ -100,9 +100,13 @@ class ThreadedEngine:
         """True once every FillUp worker has drained its stream and exited.
 
         Flow sources that want deterministic matching (offline replays,
-        tests) can poll this before yielding their first record. False
-        until run() has set its workers up; vacuously true for a run with
-        no DNS sources.
+        tests) can poll this before yielding their first record. Gating
+        alone makes *match outcomes* reproducible; byte-identical rows
+        additionally need ``fillup_workers_per_stream=1`` — concurrent
+        fill workers apply same-IP overwrites in scheduling order, so
+        which announcing name wins is otherwise a race. False until
+        run() has set its workers up; vacuously true for a run with no
+        DNS sources.
         """
         threads = self._fillup_threads
         if threads is None:

@@ -7,7 +7,8 @@ tests exercise encode → datagram → decode → correlate end to end.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+import struct
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.netflow.ipfix import IPFIX_V4_TEMPLATE, encode_ipfix_data, encode_ipfix_template
 from repro.netflow.records import FlowRecord
@@ -15,6 +16,7 @@ from repro.netflow.v5 import V5_MAX_RECORDS, encode_v5
 from repro.netflow.v9 import (
     STANDARD_V4_TEMPLATE,
     STANDARD_V6_TEMPLATE,
+    V9_HEADER,
     encode_v9_data,
     encode_v9_template,
 )
@@ -102,3 +104,98 @@ class FlowExporter:
                                         sequence=self._sequence)
                 self._sequence += len(v4)
                 sent_since_template += 1
+
+
+#: One packed flow as the generator's hot loop carries it:
+#: ``(ts, src_packed, dst_packed, src_port, dst_port, protocol, packets,
+#: bytes)`` — addresses already in network byte order, everything else a
+#: plain int. Family is implied by address length (4 or 16 bytes).
+PackedFlow = Tuple[float, bytes, bytes, int, int, int, int, int]
+
+_PACKED_V4_RECORD = struct.Struct("!4s4sHHBIII")
+_PACKED_V6_RECORD = struct.Struct("!16s16sHHBIII")
+_FLOWSET_HEADER = struct.Struct("!HH")
+_M32 = 0xFFFFFFFF
+
+
+class PackedV9Exporter:
+    """v9 encoder over :data:`PackedFlow` tuples — the generator's fast path.
+
+    Produces datagrams *byte-identical* to ``FlowExporter(version=9)``
+    fed equivalent :class:`FlowRecord` objects (same template cadence,
+    sequence accounting, v4/v6 FlowSet split, field packing — the
+    equivalence suite in ``tests/test_workload_generator.py`` pins this),
+    but skips per-record object construction and per-field dispatch: the
+    whole record packs in one precompiled ``struct`` call. That is what
+    lets a workload generator emit hundreds of thousands of wire-accurate
+    flows per second from pure Python.
+    """
+
+    def __init__(self, batch_size: int = 24, template_refresh: int = 64):
+        if batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if template_refresh <= 0:
+            raise ConfigError("template_refresh must be positive")
+        self.batch_size = batch_size
+        self.template_refresh = template_refresh
+        self._sequence = 0
+        self._sent_since_template: int | None = None  # None forces template first
+
+    def export(self, flows: Iterable[PackedFlow]) -> Iterator[bytes]:
+        """Yield datagrams covering all ``flows`` (batching internally)."""
+        batch: List[PackedFlow] = []
+        for flow in flows:
+            batch.append(flow)
+            if len(batch) == self.batch_size:
+                yield from self.export_batch(batch)
+                batch = []
+        if batch:
+            yield from self.export_batch(batch)
+
+    def export_batch(self, batch: Sequence[PackedFlow]) -> Iterator[bytes]:
+        """Encode one caller-assembled batch (<= ``batch_size`` flows)."""
+        anchor = int(batch[0][0])
+        if (
+            self._sent_since_template is None
+            or self._sent_since_template >= self.template_refresh
+        ):
+            yield encode_v9_template(
+                [STANDARD_V4_TEMPLATE, STANDARD_V6_TEMPLATE], unix_secs=anchor,
+                sequence=self._sequence,
+            )
+            self._sent_since_template = 0
+        # Mixed-family tuples (v4 src, v6 dst) are dropped, matching
+        # FlowExporter's per-family group filters.
+        v4: List[PackedFlow] = []
+        v6: List[PackedFlow] = []
+        for f in batch:
+            if len(f[1]) == 4:
+                if len(f[2]) == 4:
+                    v4.append(f)
+            elif len(f[1]) == 16 and len(f[2]) == 16:
+                v6.append(f)
+        for template_id, record, group in (
+            (STANDARD_V4_TEMPLATE.template_id, _PACKED_V4_RECORD, v4),
+            (STANDARD_V6_TEMPLATE.template_id, _PACKED_V6_RECORD, v6),
+        ):
+            if not group:
+                continue
+            pack = record.pack
+            body = b"".join(
+                [
+                    pack(
+                        f[1], f[2], f[3], f[4], f[5], f[6] & _M32, f[7] & _M32,
+                        max(0, int((f[0] - anchor) * 1000.0)) & _M32,
+                    )
+                    for f in group
+                ]
+            )
+            padding = (-(4 + len(body))) % 4
+            yield (
+                V9_HEADER.pack(9, len(group), 0, anchor & _M32, self._sequence & _M32, 0)
+                + _FLOWSET_HEADER.pack(template_id, 4 + len(body) + padding)
+                + body
+                + b"\x00" * padding
+            )
+            self._sequence += len(group)
+            self._sent_since_template += 1

@@ -32,7 +32,7 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List, Optional, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.util.clock import Clock, MonotonicClock
 from repro.util.errors import ParseError
@@ -244,6 +244,42 @@ class CaptureWriter:
             self._open_locked().write(encoded)
             self.frames_written += 1
             self.bytes_written += len(encoded)
+
+    def record_stream(self, frames: Iterable[Tuple[float, str, bytes]]) -> None:
+        """Append many ``(ts, lane, payload)`` frames in one lock hold.
+
+        The bulk fast path for producers that emit whole captures in one
+        go (the workload generator): skips per-frame :class:`CaptureFrame`
+        construction and lock churn while writing the exact same bytes as
+        repeated :meth:`record` calls. The lock is held for the duration,
+        so don't interleave with concurrent :meth:`record` callers.
+        """
+        pack = _FRAME_HEAD.pack
+        head_size = _FRAME_HEAD.size
+        lane_bytes = _LANE_TO_BYTE
+        with self._lock:
+            if self._closed:
+                return
+            write = self._open_locked().write
+            frames_written = 0
+            bytes_written = 0
+            try:
+                for ts, lane, payload in frames:
+                    n = len(payload)
+                    if n > MAX_FRAME_PAYLOAD:
+                        raise ParseError(
+                            f"capture payload too large: {n} > {MAX_FRAME_PAYLOAD}"
+                        )
+                    try:
+                        tag = lane_bytes[lane]
+                    except KeyError:
+                        raise ParseError(f"unknown capture lane {lane!r}") from None
+                    write(pack(tag, ts, n) + payload)
+                    frames_written += 1
+                    bytes_written += head_size + n
+            finally:
+                self.frames_written += frames_written
+                self.bytes_written += bytes_written
 
     def record_flow(self, payload: bytes, ts: Optional[float] = None) -> None:
         """Tee one NetFlow/IPFIX export datagram."""

@@ -5,7 +5,7 @@ real ratios on whatever machine runs them; this module lets each gate
 drop its numbers into one JSON file so CI can upload the file as an
 artifact and the perf trajectory accumulates across PRs.
 
-The default file name is parameterised per PR (``BENCH_pr9.json`` for
+The default file name is parameterised per PR (``BENCH_pr10.json`` for
 this one; ``$BENCH_JSON`` still overrides). Measurement *keys* are
 stable across PRs — the PR 2 gates keep writing their
 ``v9_decode_speedup``/``engine_batched_speedup``/… entries into the
@@ -19,15 +19,18 @@ import json
 import os
 from typing import Optional
 
-DEFAULT_BENCH_FILE = "BENCH_pr9.json"
+DEFAULT_BENCH_FILE = "BENCH_pr10.json"
 
 
 def bench_file_path(path: Optional[str] = None) -> str:
     return path or os.environ.get("BENCH_JSON", DEFAULT_BENCH_FILE)
 
 
-def record_bench(name: str, value: float, path: Optional[str] = None) -> None:
+def record_bench(name: str, value, path: Optional[str] = None) -> None:
     """Merge one ``name: value`` measurement into the bench JSON file.
+
+    ``value`` is any JSON-serialisable payload — scalar gate numbers for
+    most keys; the sweep harness records a list of per-config row dicts.
 
     Best-effort by design: an unwritable or corrupt file must never fail
     the gate that produced the number.

@@ -10,7 +10,12 @@ substitution table):
   browse-two-websites capture;
 * :class:`TtlModel`, :class:`DiurnalPattern`, :class:`CdnHosting`,
   :func:`build_universe` — the building blocks, exposed for custom
-  workloads.
+  workloads;
+* :class:`WorkloadGenerator` / :func:`generate_capture` — the
+  internet-scale streaming ``.fdc`` generator (Zipf popularity,
+  heavy-tailed flow sizes, Poisson arrivals) and
+  :class:`SweepSpec` / :func:`run_sweep` — the parameter-sweep harness
+  that replays a generated grid through the live engines.
 """
 
 from repro.workloads.cdn import CdnHosting, CdnProvider, Resolution, default_providers
@@ -20,6 +25,16 @@ from repro.workloads.domains import (
     DomainUniverse,
     ServiceSpec,
     build_universe,
+    chain_weights_for_depth,
+)
+from repro.workloads.generator import (
+    SIZE_CDFS,
+    TTL_PROFILES,
+    GeneratorParams,
+    GeneratorReport,
+    SizeCdf,
+    WorkloadGenerator,
+    generate_capture,
 )
 from repro.workloads.isp import (
     ISP_RESOLVER_IPS,
@@ -38,6 +53,7 @@ from repro.workloads.malicious import (
     malformed_name,
 )
 from repro.workloads.pcaplike import TwoSiteCapture, two_site_capture
+from repro.workloads.sweep import SweepSpec, run_sweep, sweep_points
 from repro.workloads.ttl_model import TtlModel
 
 __all__ = [
@@ -56,7 +72,18 @@ __all__ = [
     "DomainUniverse",
     "ServiceSpec",
     "build_universe",
+    "chain_weights_for_depth",
     "CHAIN_LENGTH_WEIGHTS",
+    "GeneratorParams",
+    "GeneratorReport",
+    "SizeCdf",
+    "SIZE_CDFS",
+    "TTL_PROFILES",
+    "WorkloadGenerator",
+    "generate_capture",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_points",
     "TtlModel",
     "AbusePopulation",
     "build_abuse_population",

@@ -12,6 +12,7 @@ paper-calibrated byte shares (Section 5: ≈0.5 % of daily volume).
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -108,10 +109,19 @@ class DomainUniverse:
 
     def sample_service(self, rng: random.Random) -> ServiceSpec:
         """Draw a service by resolution popularity."""
-        import bisect
-
         idx = bisect.bisect_left(self._pop_cdf, rng.random())
         return self.services[min(idx, len(self.services) - 1)]
+
+    @property
+    def popularity_cdf(self) -> List[float]:
+        """The cumulative popularity table behind :meth:`sample_service`.
+
+        Exposed so high-rate samplers (the workload generator's event
+        loop) can bisect it directly instead of paying a method call per
+        draw; drawing ``services[bisect_left(popularity_cdf, u)]`` is
+        exactly :meth:`sample_service`.
+        """
+        return self._pop_cdf
 
     def service_named(self, name: str) -> ServiceSpec:
         for s in self.services:
@@ -130,14 +140,31 @@ class DomainUniverse:
         return out
 
 
-def _sample_chain_length(rng: random.Random) -> int:
+def _sample_chain_length(
+    rng: random.Random,
+    weights: Tuple[Tuple[int, float], ...] = CHAIN_LENGTH_WEIGHTS,
+) -> int:
     x = rng.random()
     acc = 0.0
-    for length, weight in CHAIN_LENGTH_WEIGHTS:
+    for length, weight in weights:
         acc += weight
         if x <= acc:
             return length
-    return CHAIN_LENGTH_WEIGHTS[-1][0]
+    return weights[-1][0]
+
+
+def chain_weights_for_depth(max_depth: int) -> Tuple[Tuple[int, float], ...]:
+    """Figure 6's chain-length distribution truncated at ``max_depth``.
+
+    Keeps the paper's relative weights for every length <= ``max_depth``
+    and renormalises, so a generator can bound CNAME-chain depth without
+    inventing a new distribution shape.
+    """
+    if max_depth < 1:
+        raise ConfigError("max chain depth must be at least 1")
+    kept = [(length, w) for length, w in CHAIN_LENGTH_WEIGHTS if length <= max_depth]
+    total = sum(w for _, w in kept)
+    return tuple((length, w / total) for length, w in kept)
 
 
 def _benign_name(rng: random.Random, taken: set) -> str:
@@ -160,6 +187,8 @@ def build_universe(
     rare_origin_fraction: float = 0.05,
     abuse_byte_share: float = PAPER_ABUSE_BYTE_SHARE,
     streaming_services: int = 2,
+    chain_length_weights: Optional[Tuple[Tuple[int, float], ...]] = None,
+    include_abuse: bool = True,
 ) -> DomainUniverse:
     """Construct the full universe for one workload.
 
@@ -169,10 +198,18 @@ def build_universe(
     * ``long_lived_fraction`` of services resolve with TTLs at or above
       the A clear-up interval, exercising the Long hashmaps;
     * abuse categories get ``abuse_byte_share`` of total byte weight,
-      split heavy-tailed inside each category (Figure 5's shape).
+      split heavy-tailed inside each category (Figure 5's shape);
+    * ``chain_length_weights`` overrides the Figure 6 chain-length
+      distribution (see :func:`chain_weights_for_depth` for bounding the
+      depth); ``include_abuse=False`` builds a benign-only universe whose
+      popularity column is an *exact* Zipf(``zipf_alpha``) — what the
+      generator's statistical tests sample against.
     """
     if n_benign < streaming_services + 1:
         raise ConfigError("universe too small for the requested streaming services")
+    chain_weights = (
+        chain_length_weights if chain_length_weights is not None else CHAIN_LENGTH_WEIGHTS
+    )
     rng = derive_rng(seed, "universe")
     taken: set = set()
     services: List[ServiceSpec] = []
@@ -189,7 +226,7 @@ def build_universe(
                     popularity=popularity,
                     byte_weight=popularity * 14.0,
                     cdn=f"stream-cdn-{rank + 1}",
-                    chain_length=_sample_chain_length(rng),
+                    chain_length=_sample_chain_length(rng, chain_weights),
                     long_lived=False,
                 )
             )
@@ -200,7 +237,7 @@ def build_universe(
         rare_origin = long_lived_fraction <= roll < long_lived_fraction + rare_origin_fraction
         popularity_s = popularity
         byte_weight = popularity * rng.uniform(0.5, 2.0)
-        chain_length = _sample_chain_length(rng)
+        chain_length = _sample_chain_length(rng, chain_weights)
         if long_lived or rare_origin:
             # "Resolve once, transfer for hours" services (updates,
             # backups, long-session video on origin servers): few cache
@@ -224,6 +261,8 @@ def build_universe(
         )
 
     abuse = build_abuse_population(derive_rng(seed, "abuse"), n_benign)
+    if not include_abuse:
+        return DomainUniverse(services=services, abuse=abuse, seed=seed)
     benign_byte_total = sum(s.byte_weight for s in services)
     total_abuse_names = len(abuse.all_names())
     # Abuse byte share: share/(1-share) of the benign total, with each
